@@ -1,0 +1,45 @@
+// §IV.3 (3) ablation: hand-tuned block size.
+//
+// Sweeps the support kernel's threads-per-block over the valid range and
+// reports occupancy (with its limiting resource), simulated kernel time,
+// and end-to-end mining time for a fixed workload — the experiment behind
+// the paper's "hand-tuned block size" choice, plus the Fig. 5 kernel-shape
+// data (one block per candidate, blockDim-wide reduction).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gpusim/occupancy.hpp"
+
+int main() {
+  const auto& prof = datagen::profile(datagen::DatasetId::kAccidents);
+  const double scale = bench::resolve_scale(0.1);
+  const auto db = prof.generate(scale);
+  miners::MiningParams p;
+  p.min_support_ratio = 0.5;
+
+  std::printf("=== Ablation: support-kernel block size (%s, minsup %.2f) "
+              "===\n",
+              prof.name.c_str(), p.min_support_ratio);
+  bench::print_dataset_header(prof, db, scale);
+  std::printf("%-8s %10s %12s %14s %12s %12s\n", "block", "occupancy",
+              "limiter", "device_ms", "total_ms", "#itemsets");
+
+  for (std::uint32_t block : {32u, 64u, 128u, 256u, 512u, 0u /*auto*/}) {
+    gpapriori::Config cfg;
+    cfg.block_size = block;
+    gpapriori::GpApriori miner(cfg);
+    const auto out = miner.mine(db, p);
+
+    // Representative occupancy: the level-2 launch (widest level).
+    const auto& hist = miner.launch_history();
+    const auto& occ = hist.empty() ? gpusim::OccupancyResult{}
+                                   : hist.front().occupancy;
+    std::printf("%-8s %9.0f%% %12s %14.3f %12.1f %12zu\n",
+                block ? std::to_string(block).c_str() : "auto",
+                occ.occupancy * 100,
+                std::string(gpusim::to_string(occ.limiter)).c_str(),
+                out.device_ms, out.total_ms(), out.itemsets.size());
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 4 ablation: complete intersection vs equivalence-class caching.
+//
+// §IV.2: "compared to the equivalence class clustering method, complete
+// intersection adds computational complexity in order to reduce memory
+// usage and memory operations." Both strategies are fully implemented
+// (GpApriori and EqClassApriori); this bench mines the same datasets with
+// both and reports simulated device time, device memory, and instruction/
+// traffic profiles so the tradeoff is visible.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  struct Case {
+    datagen::DatasetId id;
+    double default_scale;
+    double support;
+  };
+  const Case cases[] = {
+      {datagen::DatasetId::kChess, 1.0, 0.80},
+      {datagen::DatasetId::kPumsb, 0.2, 0.875},
+      {datagen::DatasetId::kAccidents, 0.1, 0.55},
+  };
+
+  std::printf("=== Fig. 4 ablation: complete intersection vs "
+              "equivalence-class cache ===\n\n");
+  std::printf("%-14s %-22s %12s %12s %14s %12s\n", "dataset", "strategy",
+              "device_ms", "host_ms", "peak dev MB", "#itemsets");
+
+  for (const auto& c : cases) {
+    const auto& prof = datagen::profile(c.id);
+    const double scale = bench::resolve_scale(c.default_scale);
+    const auto db = prof.generate(scale);
+    miners::MiningParams p;
+    p.min_support_ratio = c.support;
+
+    gpapriori::Config cfg;
+    cfg.arena_bytes = 1ull << 30;
+
+    gpapriori::GpApriori complete(cfg);
+    const auto a = complete.mine(db, p);
+    // Static-bitset device footprint: gen-1 arena + per-level candidate
+    // buffers (small); approximate with the largest recorded launch level.
+    std::printf("%-14s %-22s %12.3f %12.1f %14s %12zu\n", prof.name.c_str(),
+                "complete intersection", a.device_ms, a.host_ms, "(static)",
+                a.itemsets.size());
+
+    gpapriori::EqClassApriori cached(cfg);
+    const auto b = cached.mine(db, p);
+    std::printf("%-14s %-22s %12.3f %12.1f %14.1f %12zu\n", prof.name.c_str(),
+                "eq-class cache", b.device_ms, b.host_ms,
+                static_cast<double>(cached.peak_device_bytes()) / 1e6,
+                b.itemsets.size());
+    std::printf("%-14s -> complete-intersection device speedup: %.2fx, "
+                "results %s\n\n",
+                "", b.device_ms / a.device_ms,
+                a.itemsets.equivalent_to(b.itemsets) ? "identical"
+                                                     : "MISMATCH");
+  }
+  return 0;
+}

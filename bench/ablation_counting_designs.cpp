@@ -1,0 +1,163 @@
+// Rejected-design ablation: the three GPU support-counting layouts on
+// identical work.
+//
+//   bitset join (the paper's design)      — streaming, coalesced
+//   tidset join (Fig. 3's strawman)        — data-dependent binary search
+//   horizontal scan (§IV.2's description)  — per-transaction traversal with
+//                                            atomics
+//
+// One workload (every frequent-item pair of a chess-scale dataset), three
+// kernels, full profiler columns. Extends Fig. 3's two-way contrast to the
+// complete design space the paper discusses.
+
+#include <cstdio>
+#include <numeric>
+
+#include "baselines/apriori_util.hpp"
+#include "bench_util.hpp"
+#include "core/horizontal_kernel.hpp"
+#include "core/support_kernel.hpp"
+#include "core/tidset_kernel.hpp"
+#include "fim/bitset_ops.hpp"
+
+namespace {
+
+struct Report {
+  const char* label;
+  double time_ms;
+  double ld_eff;
+  double simt_eff;
+  std::uint64_t atomics;
+  std::uint64_t warp_instr;
+};
+
+void print(const Report& r) {
+  std::printf("%-22s %10.3f %9.1f%% %9.1f%% %10llu %14llu\n", r.label,
+              r.time_ms, r.ld_eff * 100, r.simt_eff * 100,
+              static_cast<unsigned long long>(r.atomics),
+              static_cast<unsigned long long>(r.warp_instr));
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::resolve_scale(0.5);
+  const auto& prof = datagen::profile(datagen::DatasetId::kChess);
+  const auto db = prof.generate(scale);
+
+  std::printf("=== Counting-design ablation: bitset vs tidset vs horizontal "
+              "===\n");
+  bench::print_dataset_header(prof, db, scale);
+
+  miners::MiningParams params;
+  params.min_support_ratio = 0.6;
+  const auto pre = miners::preprocess(
+      db, params.resolve_min_count(db.num_transactions()),
+      miners::ItemOrder::kAscendingFreq);
+  const std::size_t n = pre.original_item.size();
+  const auto vert = fim::VerticalDb::from_horizontal(pre.db);
+  std::vector<fim::Item> rows(n);
+  std::iota(rows.begin(), rows.end(), 0u);
+  const auto store = fim::BitsetStore::from_db(pre.db, rows);
+
+  std::vector<std::uint32_t> flat;
+  std::uint32_t pairs = 0;
+  for (std::uint32_t a = 0; a < n; ++a)
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      flat.push_back(a);
+      flat.push_back(b);
+      ++pairs;
+    }
+  std::printf("workload: %u candidate pairs over %zu frequent items, "
+              "%zu transactions\n\n",
+              pairs, n, pre.db.num_transactions());
+  std::printf("%-22s %10s %10s %10s %10s %14s\n", "design", "sim ms",
+              "ld-eff", "simt-eff", "atomics", "warp instr");
+
+  gpusim::DeviceOptions dopts;
+  dopts.arena_bytes = 256ull << 20;
+  dopts.executor.sample_stride = 8;
+  gpusim::Device dev(gpusim::DeviceProperties::tesla_t10(), dopts);
+
+  auto d_cand = dev.alloc<std::uint32_t>(flat.size());
+  dev.copy_to_device(d_cand, std::span<const std::uint32_t>(flat));
+  auto d_sup = dev.alloc<std::uint32_t>(pairs);
+
+  // --- bitset ---
+  {
+    auto d_bits = dev.alloc<std::uint32_t>(store.arena().size(), 64);
+    dev.copy_to_device(d_bits, store.arena());
+    gpapriori::SupportKernel::Args a;
+    a.bitsets = d_bits;
+    a.stride_words = static_cast<std::uint32_t>(store.row_stride_words());
+    a.words_per_row = static_cast<std::uint32_t>(store.words_per_row());
+    a.candidates = d_cand;
+    a.k = 2;
+    a.supports = d_sup;
+    gpapriori::SupportKernel kernel(a, true, 4);
+    const auto s =
+        dev.launch(kernel, {gpusim::Dim3{pairs}, gpusim::Dim3{256}});
+    print({"bitset (GPApriori)", s.timing.total_ns / 1e6,
+           s.gmem_load_coalescing.efficiency(), s.counters.simt_efficiency(),
+           s.counters.global_atomics, s.counters.warp_instructions});
+  }
+
+  // --- tidset ---
+  {
+    std::vector<std::uint32_t> tids, table;
+    std::vector<std::uint32_t> start(n), len(n);
+    for (std::uint32_t x = 0; x < n; ++x) {
+      start[x] = static_cast<std::uint32_t>(tids.size());
+      len[x] = static_cast<std::uint32_t>(vert.tidsets[x].size());
+      tids.insert(tids.end(), vert.tidsets[x].begin(), vert.tidsets[x].end());
+    }
+    for (std::uint32_t a = 0; a < n; ++a)
+      for (std::uint32_t b = a + 1; b < n; ++b) {
+        table.push_back(start[a]);
+        table.push_back(len[a]);
+        table.push_back(start[b]);
+        table.push_back(len[b]);
+      }
+    gpapriori::TidsetJoinKernel::Args a;
+    a.tids = dev.alloc<std::uint32_t>(tids.size());
+    dev.copy_to_device(a.tids, std::span<const std::uint32_t>(tids));
+    a.pair_table = dev.alloc<std::uint32_t>(table.size());
+    dev.copy_to_device(a.pair_table, std::span<const std::uint32_t>(table));
+    a.out = d_sup;
+    gpapriori::TidsetJoinKernel kernel(a);
+    const auto s =
+        dev.launch(kernel, {gpusim::Dim3{pairs}, gpusim::Dim3{256}});
+    print({"tidset join (Fig. 3a)", s.timing.total_ns / 1e6,
+           s.gmem_load_coalescing.efficiency(), s.counters.simt_efficiency(),
+           s.counters.global_atomics, s.counters.warp_instructions});
+  }
+
+  // --- horizontal ---
+  {
+    std::vector<std::uint32_t> items, offsets{0};
+    for (std::size_t t = 0; t < pre.db.num_transactions(); ++t) {
+      const auto tx = pre.db.transaction(t);
+      items.insert(items.end(), tx.begin(), tx.end());
+      offsets.push_back(static_cast<std::uint32_t>(items.size()));
+    }
+    gpapriori::HorizontalCountKernel::Args a;
+    a.items = dev.alloc<std::uint32_t>(items.size());
+    dev.copy_to_device(a.items, std::span<const std::uint32_t>(items));
+    a.offsets = dev.alloc<std::uint32_t>(offsets.size());
+    dev.copy_to_device(a.offsets, std::span<const std::uint32_t>(offsets));
+    a.num_transactions =
+        static_cast<std::uint32_t>(pre.db.num_transactions());
+    a.candidates = d_cand;
+    a.num_candidates = pairs;
+    a.k = 2;
+    a.supports = d_sup;
+    std::vector<std::uint32_t> zero(pairs, 0);
+    dev.copy_to_device(d_sup, std::span<const std::uint32_t>(zero));
+    gpapriori::HorizontalCountKernel kernel(a);
+    const auto s = dev.launch(kernel, {gpusim::Dim3{60}, gpusim::Dim3{256}});
+    print({"horizontal + atomics", s.timing.total_ns / 1e6,
+           s.gmem_load_coalescing.efficiency(), s.counters.simt_efficiency(),
+           s.counters.global_atomics, s.counters.warp_instructions});
+  }
+  return 0;
+}

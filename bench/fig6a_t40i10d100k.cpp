@@ -1,0 +1,16 @@
+// Fig. 6(a): runtime vs minimum support on T40I10D100K (IBM Quest
+// synthetic). The only figure where the paper includes Goethals Apriori —
+// "it performs very slowly on the other three datasets" — so it appears
+// here, capped at moderate supports where its hash-tree walk stays
+// tractable at bench scale.
+
+#include "bench_util.hpp"
+
+int main() {
+  bench::FigureOptions opts;
+  opts.include_goethals = true;
+  opts.goethals_min_support = 0.015;
+  bench::run_figure("Fig. 6(a)", datagen::DatasetId::kT40I10D100K,
+                    /*default_scale=*/0.25, opts);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fig. 6(b): runtime vs minimum support on pumsb (dense census data).
+// Goethals Apriori is excluded, matching the paper's presentation.
+
+#include "bench_util.hpp"
+
+int main() {
+  bench::FigureOptions opts;
+  bench::run_figure("Fig. 6(b)", datagen::DatasetId::kPumsb,
+                    /*default_scale=*/0.2, opts);
+  return 0;
+}

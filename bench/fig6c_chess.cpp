@@ -1,0 +1,13 @@
+// Fig. 6(c): runtime vs minimum support on chess (small, very dense).
+// The paper's smallest dataset — GPApriori's advantage is smallest here
+// (~10x over CPU_TEST) because kernel launch + transfer overheads are not
+// amortized by much counting work.
+
+#include "bench_util.hpp"
+
+int main() {
+  bench::FigureOptions opts;
+  bench::run_figure("Fig. 6(c)", datagen::DatasetId::kChess,
+                    /*default_scale=*/1.0, opts);
+  return 0;
+}

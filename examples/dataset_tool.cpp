@@ -1,0 +1,72 @@
+// Dataset generation/inspection CLI: regenerate any of the paper's four
+// benchmark datasets (DESIGN.md §2 substitutions) as a FIMI-format file,
+// or print shape statistics for an existing FIMI file.
+//
+//   ./build/examples/dataset_tool gen <t40|chess|pumsb|accidents> <out.dat> [scale]
+//   ./build/examples/dataset_tool stats <file.dat>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "datagen/datagen.hpp"
+#include "fim/fim.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dataset_tool gen <t40|chess|pumsb|accidents> <out.dat> "
+               "[scale]\n"
+               "  dataset_tool stats <file.dat>\n");
+  return 2;
+}
+
+const datagen::DatasetProfile* find_profile(const char* name) {
+  if (std::strcmp(name, "t40") == 0)
+    return &datagen::profile(datagen::DatasetId::kT40I10D100K);
+  for (const auto& p : datagen::all_profiles())
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+void print_stats(const char* label, const fim::TransactionDb& db) {
+  const auto s = fim::compute_stats(db);
+  std::printf("%s: %zu transactions, %zu distinct items, avg length %.2f "
+              "(min %zu, max %zu), density %.3f, top item in %.1f%%\n",
+              label, s.num_transactions, s.distinct_items,
+              s.avg_transaction_length, s.min_transaction_length,
+              s.max_transaction_length, s.density,
+              s.top_item_frequency * 100);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  try {
+    if (std::strcmp(argv[1], "gen") == 0) {
+      if (argc < 4) return usage();
+      const auto* prof = find_profile(argv[2]);
+      if (!prof) {
+        std::fprintf(stderr, "unknown dataset '%s'\n", argv[2]);
+        return 2;
+      }
+      const double scale = argc > 4 ? std::atof(argv[4]) : 1.0;
+      const auto db = prof->generate(scale);
+      fim::write_fimi_file(db, argv[3]);
+      print_stats(argv[3], db);
+      return 0;
+    }
+    if (std::strcmp(argv[1], "stats") == 0) {
+      const auto db = fim::read_fimi_file(argv[2]);
+      print_stats(argv[2], db);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,215 @@
+// gpapriori_cli — command-line frequent-itemset mining over FIMI files,
+// the tool a downstream user actually runs. Any algorithm in the library,
+// relative or absolute support, optional rule generation and closed/maximal
+// condensation, top-K mode, FIMI-style output.
+//
+//   gpapriori_cli mine <file.dat> [--algo NAME] [--support 0.5 | --count 20]
+//                 [--max-size K] [--rules CONF] [--closed | --maximal]
+//                 [--out result.txt]
+//   gpapriori_cli topk <file.dat> <K> [--algo NAME]
+//   gpapriori_cli list-algos
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baselines/baselines.hpp"
+#include "core/gpapriori_all.hpp"
+#include "fim/fim.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  gpapriori_cli mine <file.dat> [--algo NAME] [--support R | --count "
+      "N]\n"
+      "                [--max-size K] [--rules CONF] [--closed | --maximal]\n"
+      "                [--out FILE]\n"
+      "  gpapriori_cli topk <file.dat> <K> [--algo NAME]\n"
+      "  gpapriori_cli list-algos\n");
+  return 2;
+}
+
+std::unique_ptr<miners::Miner> make_by_name(const std::string& name) {
+  for (auto& m : gpapriori::make_all_miners())
+    if (name == m->name()) return std::move(m);
+  if (name == "GPApriori (eq-class)")
+    return std::make_unique<gpapriori::EqClassApriori>();
+  if (name == "GPApriori (pipelined)")
+    return std::make_unique<gpapriori::PipelinedGpApriori>();
+  if (name == "GPApriori (partitioned)")
+    return std::make_unique<gpapriori::PartitionedGpApriori>();
+  if (name == "GPU Eclat") return std::make_unique<gpapriori::GpuEclat>();
+  if (name == "Hybrid CPU+GPU Apriori")
+    return std::make_unique<gpapriori::HybridApriori>();
+  return nullptr;
+}
+
+void list_algos() {
+  for (auto& m : gpapriori::make_all_miners())
+    std::printf("%s\n", std::string(m->name()).c_str());
+  std::printf("GPApriori (eq-class)\nGPApriori (pipelined)\n"
+              "GPApriori (partitioned)\nGPU Eclat\nHybrid CPU+GPU Apriori\n");
+}
+
+struct Options {
+  std::string algo = "GPApriori";
+  double support = 0.0;
+  fim::Support count = 0;
+  std::size_t max_size = 0;
+  double rules_conf = -1;
+  bool closed = false, maximal = false;
+  std::string out_path;
+};
+
+bool parse_flags(int argc, char** argv, int start, Options& o) {
+  for (int i = start; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--algo") {
+      const char* v = next("--algo");
+      if (!v) return false;
+      o.algo = v;
+    } else if (a == "--support") {
+      const char* v = next("--support");
+      if (!v) return false;
+      o.support = std::atof(v);
+    } else if (a == "--count") {
+      const char* v = next("--count");
+      if (!v) return false;
+      o.count = static_cast<fim::Support>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--max-size") {
+      const char* v = next("--max-size");
+      if (!v) return false;
+      o.max_size = std::strtoul(v, nullptr, 10);
+    } else if (a == "--rules") {
+      const char* v = next("--rules");
+      if (!v) return false;
+      o.rules_conf = std::atof(v);
+    } else if (a == "--closed") {
+      o.closed = true;
+    } else if (a == "--maximal") {
+      o.maximal = true;
+    } else if (a == "--out") {
+      const char* v = next("--out");
+      if (!v) return false;
+      o.out_path = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_mine(int argc, char** argv) {
+  Options o;
+  if (!parse_flags(argc, argv, 3, o)) return 2;
+  if (o.support <= 0 && o.count == 0) {
+    std::fprintf(stderr, "need --support R (relative) or --count N\n");
+    return 2;
+  }
+  auto miner = make_by_name(o.algo);
+  if (!miner) {
+    std::fprintf(stderr, "unknown algorithm '%s' (see list-algos)\n",
+                 o.algo.c_str());
+    return 2;
+  }
+  const auto db = fim::read_fimi_file(argv[2]);
+  miners::MiningParams p;
+  p.min_support_ratio = o.support;
+  p.min_support_abs = o.count;
+  p.max_itemset_size = o.max_size;
+
+  const auto result = miner->mine(db, p);
+  fim::ItemsetCollection sets = result.itemsets;
+  const char* kind = "frequent";
+  if (o.closed) {
+    sets = fim::filter_closed(sets);
+    kind = "closed frequent";
+  } else if (o.maximal) {
+    sets = fim::filter_maximal(sets);
+    kind = "maximal frequent";
+  }
+
+  std::fprintf(stderr,
+               "%s: %zu transactions, %zu %s itemsets, host %.1f ms, "
+               "device %.3f ms\n",
+               std::string(miner->name()).c_str(), db.num_transactions(),
+               sets.size(), kind, result.host_ms, result.device_ms);
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (!o.out_path.empty()) {
+    file.open(o.out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", o.out_path.c_str());
+      return 1;
+    }
+    out = &file;
+  }
+  (*out) << sets.to_string();
+
+  if (o.rules_conf >= 0) {
+    fim::RuleParams rp;
+    rp.min_confidence = o.rules_conf;
+    rp.num_transactions = db.num_transactions();
+    const auto rules = fim::generate_rules(result.itemsets, rp);
+    std::fprintf(stderr, "%zu rules at confidence >= %.2f\n", rules.size(),
+                 o.rules_conf);
+    for (const auto& r : rules)
+      (*out) << r.antecedent.to_string() << " => "
+             << r.consequent.to_string() << " (sup " << r.support << ", conf "
+             << r.confidence << ", lift " << r.lift << ")\n";
+  }
+  return 0;
+}
+
+int cmd_topk(int argc, char** argv) {
+  if (argc < 4) return usage();
+  Options o;
+  if (!parse_flags(argc, argv, 4, o)) return 2;
+  // Top-K uses the native rising-threshold algorithm (one level-wise pass,
+  // safe on dense data); --algo is not consulted here.
+  const auto db = fim::read_fimi_file(argv[2]);
+  const auto k = std::strtoul(argv[3], nullptr, 10);
+  const auto r = gpapriori::mine_top_k_native(db, k, o.max_size);
+  std::fprintf(stderr,
+               "top-%lu: %zu itemsets (effective min support %u, %zu levels)\n",
+               k, r.itemsets.size(), r.effective_min_support,
+               r.levels_mined);
+  std::printf("%s", r.itemsets.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "list-algos") == 0) {
+      list_algos();
+      return 0;
+    }
+    if (argc >= 3 && std::strcmp(argv[1], "mine") == 0)
+      return cmd_mine(argc, argv);
+    if (argc >= 3 && std::strcmp(argv[1], "topk") == 0)
+      return cmd_topk(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

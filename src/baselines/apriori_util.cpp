@@ -1,0 +1,87 @@
+#include "baselines/apriori_util.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace miners {
+
+std::vector<fim::Itemset> apriori_gen(
+    const std::vector<fim::Itemset>& frequent_k1) {
+  std::vector<fim::Itemset> candidates;
+  if (frequent_k1.empty()) return candidates;
+  const std::size_t k1 = frequent_k1[0].size();
+
+  std::unordered_set<fim::Itemset, fim::ItemsetHash> frequent_set(
+      frequent_k1.begin(), frequent_k1.end());
+
+  // Join step: sorted input means equal-prefix runs are contiguous.
+  for (std::size_t i = 0; i < frequent_k1.size(); ++i) {
+    for (std::size_t j = i + 1; j < frequent_k1.size(); ++j) {
+      const auto& a = frequent_k1[i].items();
+      const auto& b = frequent_k1[j].items();
+      bool same_prefix = true;
+      for (std::size_t p = 0; p + 1 < k1; ++p)
+        if (a[p] != b[p]) {
+          same_prefix = false;
+          break;
+        }
+      if (!same_prefix) break;  // sorted: later j's diverge too
+
+      fim::Itemset cand = frequent_k1[i].with(b[k1 - 1]);
+
+      // Prune step: every (k-1)-subset must be frequent. The two subsets
+      // used in the join are frequent by construction; check the rest.
+      bool ok = true;
+      for (std::size_t d = 0; ok && d + 2 < cand.size(); ++d)
+        if (!frequent_set.contains(cand.without_index(d))) ok = false;
+      if (ok) candidates.push_back(std::move(cand));
+    }
+  }
+  return candidates;
+}
+
+Preprocessed preprocess(const fim::TransactionDb& db, fim::Support min_count,
+                        ItemOrder order) {
+  const auto freq = db.item_frequencies();
+  std::vector<fim::Item> kept;
+  for (fim::Item x = 0; x < freq.size(); ++x)
+    if (freq[x] >= min_count) kept.push_back(x);
+
+  switch (order) {
+    case ItemOrder::kOriginal:
+      break;
+    case ItemOrder::kAscendingFreq:
+      std::stable_sort(kept.begin(), kept.end(), [&](fim::Item a, fim::Item b) {
+        return freq[a] < freq[b];
+      });
+      break;
+    case ItemOrder::kDescendingFreq:
+      std::stable_sort(kept.begin(), kept.end(), [&](fim::Item a, fim::Item b) {
+        return freq[a] > freq[b];
+      });
+      break;
+  }
+
+  std::vector<bool> keep(db.item_universe(), false);
+  std::vector<fim::Item> new_id(db.item_universe(), 0);
+  Preprocessed out;
+  out.original_item = kept;
+  out.support.reserve(kept.size());
+  for (std::size_t r = 0; r < kept.size(); ++r) {
+    keep[kept[r]] = true;
+    new_id[kept[r]] = static_cast<fim::Item>(r);
+    out.support.push_back(freq[kept[r]]);
+  }
+  out.db = db.filter_remap(keep, new_id);
+  return out;
+}
+
+fim::Itemset to_original(const fim::Itemset& s,
+                         const std::vector<fim::Item>& original_item) {
+  std::vector<fim::Item> items;
+  items.reserve(s.size());
+  for (fim::Item x : s) items.push_back(original_item[x]);
+  return fim::Itemset(std::move(items));
+}
+
+}  // namespace miners

@@ -1,0 +1,45 @@
+#pragma once
+// Shared Apriori machinery for the CPU baselines: the classic F_{k-1} join
+// (Agrawal & Srikant apriori-gen) with subset pruning, and the standard
+// preprocessing (frequent-1 scan + item remapping).
+
+#include <unordered_set>
+#include <vector>
+
+#include "fim/itemset.hpp"
+#include "fim/transaction_db.hpp"
+
+namespace miners {
+
+/// apriori-gen: joins lexicographically-sorted frequent (k-1)-itemsets that
+/// share their first k-2 items, then prunes candidates with an infrequent
+/// (k-1)-subset. `frequent_k1` must be sorted ascending (lexicographic) and
+/// all of one size.
+[[nodiscard]] std::vector<fim::Itemset> apriori_gen(
+    const std::vector<fim::Itemset>& frequent_k1);
+
+/// Result of the frequent-1 preprocessing pass.
+struct Preprocessed {
+  /// Filtered database: only frequent items, renumbered densely.
+  fim::TransactionDb db;
+  /// original_item[new_id] -> the item id in the input database.
+  std::vector<fim::Item> original_item;
+  /// Support of each kept item, indexed by new id.
+  std::vector<fim::Support> support;
+};
+
+enum class ItemOrder {
+  kOriginal,        ///< keep input ids (ascending)
+  kAscendingFreq,   ///< rarest first (Borgelt's default for Apriori)
+  kDescendingFreq,  ///< most frequent first (FP-tree order)
+};
+
+/// Scans for frequent 1-items, drops the rest, renumbers per `order`.
+[[nodiscard]] Preprocessed preprocess(const fim::TransactionDb& db,
+                                      fim::Support min_count, ItemOrder order);
+
+/// Translates an itemset of new ids back to original item ids.
+[[nodiscard]] fim::Itemset to_original(const fim::Itemset& s,
+                                       const std::vector<fim::Item>& original_item);
+
+}  // namespace miners

@@ -1,0 +1,28 @@
+#pragma once
+// Bodon-style Apriori (OSDM'05 "A Trie-based APRIORI Implementation for
+// Mining Frequent Item Sequences").
+//
+// Bodon's miner keeps the candidate trie as THE central structure: items
+// stay in their original order, transactions are streamed unmodified every
+// level, and counting is pure trie descent. Relative to the Borgelt
+// baseline this isolates what trie counting alone buys (no transaction
+// pruning, no frequency recoding) — exactly the contrast the paper's
+// Fig. 6 comparison draws between the two.
+
+#include "baselines/miner.hpp"
+
+namespace miners {
+
+class BodonApriori final : public Miner {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "Bodon Apriori";
+  }
+  [[nodiscard]] std::string_view platform() const override {
+    return "Single thread CPU";
+  }
+  [[nodiscard]] MiningOutput mine(const fim::TransactionDb& db,
+                                  const MiningParams& params) override;
+};
+
+}  // namespace miners

@@ -1,0 +1,70 @@
+#include "baselines/borgelt.hpp"
+
+#include <algorithm>
+
+#include "baselines/apriori_util.hpp"
+#include "baselines/counting_trie.hpp"
+
+namespace miners {
+
+MiningOutput BorgeltApriori::mine(const fim::TransactionDb& db,
+                                  const MiningParams& params) {
+  const StopWatch total;
+  MiningOutput out;
+  const fim::Support min_count = params.resolve_min_count(db.num_transactions());
+
+  Preprocessed pre = preprocess(db, min_count, ItemOrder::kAscendingFreq);
+  std::vector<fim::Itemset> frequent;
+  for (fim::Item x = 0; x < pre.original_item.size(); ++x) {
+    out.itemsets.add(fim::Itemset{pre.original_item[x]}, pre.support[x]);
+    frequent.push_back(fim::Itemset{x});
+  }
+  out.levels.push_back({1, pre.original_item.size(), frequent.size(), 0, 0});
+
+  // Mutable copy of the (already filtered+recoded) transactions; Borgelt's
+  // pruning shrinks this as levels proceed.
+  std::vector<std::vector<fim::Item>> txs;
+  txs.reserve(pre.db.num_transactions());
+  for (std::size_t t = 0; t < pre.db.num_transactions(); ++t) {
+    auto tx = pre.db.transaction(t);
+    txs.emplace_back(tx.begin(), tx.end());
+  }
+
+  for (std::size_t k = 2; !frequent.empty(); ++k) {
+    if (params.max_itemset_size && k > params.max_itemset_size) break;
+    const StopWatch level;
+    std::sort(frequent.begin(), frequent.end());
+    const std::vector<fim::Itemset> candidates = apriori_gen(frequent);
+    if (candidates.empty()) break;
+
+    // Transaction pruning: only items present in some candidate can
+    // contribute to a count at this or any later level.
+    std::vector<bool> active(pre.original_item.size(), false);
+    for (const auto& c : candidates)
+      for (fim::Item x : c) active[x] = true;
+    std::erase_if(txs, [&](std::vector<fim::Item>& tx) {
+      std::erase_if(tx, [&](fim::Item x) { return !active[x]; });
+      return tx.size() < k;
+    });
+
+    CountingTrie trie(candidates);
+    for (const auto& tx : txs) trie.count_transaction(tx);
+
+    frequent.clear();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (trie.count(i) >= min_count) {
+        frequent.push_back(candidates[i]);
+        out.itemsets.add(to_original(candidates[i], pre.original_item),
+                         trie.count(i));
+      }
+    }
+    out.levels.push_back(
+        {k, candidates.size(), frequent.size(), level.elapsed_ms(), 0});
+  }
+
+  out.itemsets.canonicalize();
+  out.host_ms = total.elapsed_ms();
+  return out;
+}
+
+}  // namespace miners

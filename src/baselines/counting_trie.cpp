@@ -1,0 +1,89 @@
+#include "baselines/counting_trie.hpp"
+
+#include <stdexcept>
+
+namespace miners {
+
+CountingTrie::CountingTrie(const std::vector<fim::Itemset>& candidates) {
+  if (candidates.empty()) return;
+  depth_ = candidates[0].size();
+  leaf_count_.assign(candidates.size(), 0);
+  for (const auto& c : candidates)
+    if (c.size() != depth_)
+      throw std::invalid_argument("CountingTrie: mixed candidate sizes");
+
+  // Breadth-first construction: at each depth, group the candidate range of
+  // every node by the item at that depth. Children end up contiguous and
+  // sorted because the candidate list is sorted.
+  struct Range {
+    std::uint32_t node;  ///< parent node index (or root sentinel)
+    std::uint32_t lo, hi;
+  };
+  constexpr std::uint32_t kRoot = ~std::uint32_t{0};
+  std::vector<Range> level{{kRoot, 0, static_cast<std::uint32_t>(candidates.size())}};
+
+  for (std::size_t d = 0; d < depth_; ++d) {
+    std::vector<Range> next;
+    for (const auto& range : level) {
+      const auto first = static_cast<std::uint32_t>(nodes_.size());
+      std::uint32_t lo = range.lo;
+      while (lo < range.hi) {
+        const fim::Item x = candidates[lo][d];
+        std::uint32_t hi = lo + 1;
+        while (hi < range.hi && candidates[hi][d] == x) ++hi;
+        Node node;
+        node.item = x;
+        if (d + 1 == depth_) {
+          node.leaf_idx = lo;  // exactly one candidate per deepest group
+          if (hi != lo + 1)
+            throw std::invalid_argument("CountingTrie: duplicate candidates");
+        } else {
+          next.push_back({static_cast<std::uint32_t>(nodes_.size()), lo, hi});
+        }
+        nodes_.push_back(node);
+        lo = hi;
+      }
+      const auto n = static_cast<std::uint32_t>(nodes_.size()) - first;
+      if (range.node == kRoot) {
+        root_first_ = first;
+        root_n_ = n;
+      } else {
+        nodes_[range.node].first_child = first;
+        nodes_[range.node].num_children = n;
+      }
+    }
+    level = std::move(next);
+  }
+}
+
+void CountingTrie::count_transaction(std::span<const fim::Item> tx) {
+  if (depth_ == 0 || tx.size() < depth_) return;
+  count_rec(root_first_, root_n_, tx, 0, depth_);
+}
+
+void CountingTrie::count_rec(std::uint32_t first, std::uint32_t n,
+                             std::span<const fim::Item> tx, std::size_t start,
+                             std::size_t remaining) {
+  // Merge-walk: both the child array and the transaction suffix are sorted.
+  std::uint32_t c = first;
+  const std::uint32_t end = first + n;
+  std::size_t j = start;
+  // A match at position j needs `remaining - 1` more items after it.
+  while (c < end && j + remaining <= tx.size()) {
+    if (nodes_[c].item < tx[j]) {
+      ++c;
+    } else if (nodes_[c].item > tx[j]) {
+      ++j;
+    } else {
+      if (remaining == 1)
+        leaf_count_[nodes_[c].leaf_idx] += 1;
+      else
+        count_rec(nodes_[c].first_child, nodes_[c].num_children, tx, j + 1,
+                  remaining - 1);
+      ++c;
+      ++j;
+    }
+  }
+}
+
+}  // namespace miners

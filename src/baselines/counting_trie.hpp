@@ -1,0 +1,55 @@
+#pragma once
+// Flat candidate trie with merge-based support counting — the structure
+// behind the Bodon- and Borgelt-style baselines (paper §II/§III: "the trie
+// data structure has been developed to overcome the fast expanding of
+// candidates").
+//
+// The trie is rebuilt per level from the (lexicographically sorted)
+// candidate list into contiguous arrays: children of a node are adjacent
+// and item-sorted, so counting a transaction is a cache-friendly
+// merge-descent instead of pointer chasing.
+
+#include <span>
+#include <vector>
+
+#include "fim/itemset.hpp"
+
+namespace miners {
+
+class CountingTrie {
+ public:
+  /// Builds a depth-k trie over sorted, duplicate-free candidates of
+  /// uniform size k. Leaf order matches candidate order.
+  explicit CountingTrie(const std::vector<fim::Itemset>& candidates);
+
+  /// Adds 1 to the count of every candidate contained in the transaction
+  /// (strictly increasing item list).
+  void count_transaction(std::span<const fim::Item> tx);
+
+  [[nodiscard]] std::size_t num_candidates() const { return leaf_count_.size(); }
+  [[nodiscard]] fim::Support count(std::size_t candidate_idx) const {
+    return leaf_count_[candidate_idx];
+  }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    fim::Item item = 0;
+    std::uint32_t first_child = 0;  ///< index into nodes_
+    std::uint32_t num_children = 0;
+    std::uint32_t leaf_idx = 0;  ///< candidate index when at depth k
+  };
+
+  void count_rec(std::uint32_t first, std::uint32_t n,
+                 std::span<const fim::Item> tx, std::size_t start,
+                 std::size_t remaining);
+
+  std::vector<Node> nodes_;
+  std::uint32_t root_first_ = 0;
+  std::uint32_t root_n_ = 0;
+  std::vector<fim::Support> leaf_count_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace miners

@@ -1,0 +1,88 @@
+#include "baselines/eclat.hpp"
+
+#include <algorithm>
+
+#include "baselines/apriori_util.hpp"
+#include "fim/vertical.hpp"
+
+namespace miners {
+namespace {
+
+/// One member of a prefix equivalence class: the extending item, its
+/// support, and either its tidset (depth 1) or its diffset relative to the
+/// class prefix (deeper levels of the diffset variant).
+struct ClassEntry {
+  fim::Item item;
+  fim::Support support;
+  std::vector<fim::Tid> set;
+};
+
+struct Ctx {
+  fim::Support min_count;
+  std::size_t max_size;
+  bool diffsets;
+  const std::vector<fim::Item>* original_item;
+  fim::ItemsetCollection* out;
+};
+
+// `sets_are_diffsets` is false exactly at depth 1 of the diffset variant
+// (and always false for plain tidset Eclat, where sets stay tidsets).
+void dfs(const fim::Itemset& prefix, const std::vector<ClassEntry>& cls,
+         bool sets_are_diffsets, const Ctx& ctx) {
+  for (std::size_t i = 0; i < cls.size(); ++i) {
+    const fim::Itemset items = prefix.with(cls[i].item);
+    ctx.out->add(to_original(items, *ctx.original_item), cls[i].support);
+    if (ctx.max_size && items.size() >= ctx.max_size) continue;
+
+    std::vector<ClassEntry> next;
+    for (std::size_t j = i + 1; j < cls.size(); ++j) {
+      ClassEntry e;
+      e.item = cls[j].item;
+      if (!ctx.diffsets) {
+        e.set = fim::tidset_intersect(cls[i].set, cls[j].set);
+        e.support = static_cast<fim::Support>(e.set.size());
+      } else if (!sets_are_diffsets) {
+        // First diffset level: d(xy) = t(x) \ t(y).
+        e.set = fim::tidset_difference(cls[i].set, cls[j].set);
+        e.support = cls[i].support - static_cast<fim::Support>(e.set.size());
+      } else {
+        // d(Pxy) = d(Py) \ d(Px); sup(Pxy) = sup(Px) - |d(Pxy)|.
+        e.set = fim::tidset_difference(cls[j].set, cls[i].set);
+        e.support = cls[i].support - static_cast<fim::Support>(e.set.size());
+      }
+      if (e.support >= ctx.min_count) next.push_back(std::move(e));
+    }
+    if (!next.empty()) dfs(items, next, ctx.diffsets, ctx);
+  }
+}
+
+}  // namespace
+
+MiningOutput Eclat::mine(const fim::TransactionDb& db,
+                         const MiningParams& params) {
+  const StopWatch total;
+  MiningOutput out;
+  const fim::Support min_count = params.resolve_min_count(db.num_transactions());
+
+  // Ascending-frequency order keeps equivalence classes small near the
+  // root (Zaki's recommended ordering).
+  Preprocessed pre = preprocess(db, min_count, ItemOrder::kAscendingFreq);
+  const fim::VerticalDb vert = fim::VerticalDb::from_horizontal(pre.db);
+
+  std::vector<ClassEntry> roots;
+  roots.reserve(pre.original_item.size());
+  for (fim::Item x = 0; x < pre.original_item.size(); ++x)
+    roots.push_back(
+        {x, static_cast<fim::Support>(vert.tidsets[x].size()),
+         vert.tidsets[x]});
+
+  Ctx ctx{min_count, params.max_itemset_size, diffsets_, &pre.original_item,
+          &out.itemsets};
+  if (!roots.empty()) dfs(fim::Itemset{}, roots, /*sets_are_diffsets=*/false, ctx);
+
+  out.itemsets.canonicalize();
+  out.host_ms = total.elapsed_ms();
+  return out;
+}
+
+}  // namespace miners

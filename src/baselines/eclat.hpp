@@ -1,0 +1,32 @@
+#pragma once
+// Eclat (Zaki, KDD'97) with the diffset refinement (Zaki & Gouda,
+// SIGKDD'03 — reference [3] of the paper).
+//
+// Depth-first search over prefix equivalence classes on the vertical
+// tidset layout. The paper's §II discusses Eclat as the other
+// vertical-layout Apriori relative; it is included as an extension
+// comparator beyond Table 1, and its tidset join is the CPU twin of the
+// uncoalesced GPU tidset kernel contrasted in Fig. 3.
+
+#include "baselines/miner.hpp"
+
+namespace miners {
+
+class Eclat final : public Miner {
+ public:
+  explicit Eclat(bool use_diffsets = false) : diffsets_(use_diffsets) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return diffsets_ ? "Eclat (diffsets)" : "Eclat (tidsets)";
+  }
+  [[nodiscard]] std::string_view platform() const override {
+    return "Single thread CPU";
+  }
+  [[nodiscard]] MiningOutput mine(const fim::TransactionDb& db,
+                                  const MiningParams& params) override;
+
+ private:
+  bool diffsets_;
+};
+
+}  // namespace miners

@@ -1,0 +1,140 @@
+#include "baselines/fpgrowth.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "baselines/apriori_util.hpp"
+
+namespace miners {
+namespace {
+
+constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+
+/// Frequent-pattern tree over densely renumbered items where id 0 is the
+/// MOST frequent item (paths are inserted in ascending id order).
+class FpTree {
+ public:
+  explicit FpTree(std::size_t num_items)
+      : header_(num_items, kNone), item_count_(num_items, 0) {
+    nodes_.push_back({});  // root
+  }
+
+  struct Node {
+    fim::Item item = 0;
+    fim::Support count = 0;
+    std::uint32_t parent = kNone;
+    std::uint32_t node_link = kNone;   ///< next node with the same item
+    std::uint32_t first_child = kNone;
+    std::uint32_t next_sibling = kNone;
+  };
+
+  /// Inserts a path of ascending item ids with multiplicity `count`.
+  void insert(std::span<const fim::Item> path, fim::Support count) {
+    std::uint32_t cur = 0;
+    for (fim::Item x : path) {
+      std::uint32_t child = find_child(cur, x);
+      if (child == kNone) {
+        child = static_cast<std::uint32_t>(nodes_.size());
+        Node n;
+        n.item = x;
+        n.parent = cur;
+        n.next_sibling = nodes_[cur].first_child;
+        n.node_link = header_[x];
+        nodes_.push_back(n);
+        nodes_[cur].first_child = child;
+        header_[x] = child;
+      }
+      nodes_[child].count += count;
+      item_count_[x] += count;
+      cur = child;
+    }
+  }
+
+  [[nodiscard]] fim::Support item_count(fim::Item x) const {
+    return item_count_[x];
+  }
+  [[nodiscard]] std::uint32_t header(fim::Item x) const { return header_[x]; }
+  [[nodiscard]] const Node& node(std::uint32_t i) const { return nodes_[i]; }
+  [[nodiscard]] std::size_t num_items() const { return header_.size(); }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  [[nodiscard]] std::uint32_t find_child(std::uint32_t parent,
+                                         fim::Item x) const {
+    for (std::uint32_t c = nodes_[parent].first_child; c != kNone;
+         c = nodes_[c].next_sibling)
+      if (nodes_[c].item == x) return c;
+    return kNone;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> header_;
+  std::vector<fim::Support> item_count_;
+};
+
+struct Ctx {
+  fim::Support min_count;
+  std::size_t max_size;
+  const std::vector<fim::Item>* original_item;
+  fim::ItemsetCollection* out;
+};
+
+void fp_growth(const FpTree& tree, const fim::Itemset& suffix, const Ctx& ctx) {
+  // Least-frequent first (highest id): standard bottom-up header order.
+  for (fim::Item x_plus_1 = static_cast<fim::Item>(tree.num_items());
+       x_plus_1 > 0; --x_plus_1) {
+    const fim::Item x = x_plus_1 - 1;
+    const fim::Support sup = tree.item_count(x);
+    if (sup < ctx.min_count) continue;
+
+    const fim::Itemset found = suffix.with(x);
+    ctx.out->add(to_original(found, *ctx.original_item), sup);
+    if (ctx.max_size && found.size() >= ctx.max_size) continue;
+
+    // Conditional pattern base: prefix path of every x-node, weighted by
+    // that node's count; re-inserted into the conditional tree.
+    FpTree cond(tree.num_items());
+    std::vector<fim::Item> path;
+    for (std::uint32_t n = tree.header(x); n != kNone;
+         n = tree.node(n).node_link) {
+      const fim::Support w = tree.node(n).count;
+      path.clear();
+      for (std::uint32_t p = tree.node(n).parent; p != 0 && p != kNone;
+           p = tree.node(p).parent)
+        path.push_back(tree.node(p).item);
+      std::reverse(path.begin(), path.end());  // ascending ids root-down
+      if (!path.empty()) cond.insert(path, w);
+    }
+    if (cond.num_nodes() > 1) fp_growth(cond, found, ctx);
+  }
+}
+
+}  // namespace
+
+MiningOutput FpGrowth::mine(const fim::TransactionDb& db,
+                            const MiningParams& params) {
+  const StopWatch total;
+  MiningOutput out;
+  const fim::Support min_count = params.resolve_min_count(db.num_transactions());
+
+  // Scan 1: item frequencies; renumber so id 0 = most frequent.
+  Preprocessed pre = preprocess(db, min_count, ItemOrder::kDescendingFreq);
+
+  // Scan 2: build the FP-tree (transactions are already filtered and their
+  // items ascend in the new id space = descending global frequency).
+  FpTree tree(pre.original_item.size());
+  for (std::size_t t = 0; t < pre.db.num_transactions(); ++t) {
+    const auto tx = pre.db.transaction(t);
+    if (!tx.empty()) tree.insert(tx, 1);
+  }
+
+  Ctx ctx{min_count, params.max_itemset_size, &pre.original_item,
+          &out.itemsets};
+  fp_growth(tree, fim::Itemset{}, ctx);
+
+  out.itemsets.canonicalize();
+  out.host_ms = total.elapsed_ms();
+  return out;
+}
+
+}  // namespace miners

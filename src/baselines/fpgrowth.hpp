@@ -1,0 +1,25 @@
+#pragma once
+// FP-Growth (Han, Pei & Yin, SIGMOD'00 — reference [4] of the paper).
+//
+// The pattern-growth comparator the paper discusses in §II: two database
+// scans build a frequent-pattern tree; mining proceeds by recursively
+// projecting conditional pattern bases, with no candidate generation.
+// Included as an extension beyond Table 1 (the paper's future work names
+// FP-Growth parallelization) and to reproduce the §II claim that Apriori
+// overtakes FP-Growth at high minimum support.
+
+#include "baselines/miner.hpp"
+
+namespace miners {
+
+class FpGrowth final : public Miner {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "FP-Growth"; }
+  [[nodiscard]] std::string_view platform() const override {
+    return "Single thread CPU";
+  }
+  [[nodiscard]] MiningOutput mine(const fim::TransactionDb& db,
+                                  const MiningParams& params) override;
+};
+
+}  // namespace miners

@@ -1,0 +1,54 @@
+#include "baselines/goethals.hpp"
+
+#include "baselines/apriori_util.hpp"
+#include "baselines/hash_tree.hpp"
+
+namespace miners {
+
+MiningOutput GoethalsApriori::mine(const fim::TransactionDb& db,
+                                   const MiningParams& params) {
+  const StopWatch total;
+  MiningOutput out;
+  const fim::Support min_count = params.resolve_min_count(db.num_transactions());
+
+  // Level 1: plain frequency scan; keep original item order (Goethals'
+  // implementation does not recode items).
+  Preprocessed pre = preprocess(db, min_count, ItemOrder::kOriginal);
+  std::vector<fim::Itemset> frequent;
+  for (fim::Item x = 0; x < pre.original_item.size(); ++x) {
+    out.itemsets.add(fim::Itemset{pre.original_item[x]}, pre.support[x]);
+    frequent.push_back(fim::Itemset{x});
+  }
+  out.levels.push_back({1, pre.original_item.size(), frequent.size(), 0, 0});
+
+  for (std::size_t k = 2; !frequent.empty(); ++k) {
+    if (params.max_itemset_size && k > params.max_itemset_size) break;
+    const StopWatch level;
+    std::sort(frequent.begin(), frequent.end());
+    const std::vector<fim::Itemset> candidates = apriori_gen(frequent);
+    if (candidates.empty()) break;
+
+    HashTree tree(k);
+    for (const auto& c : candidates) tree.insert(c);
+
+    for (std::size_t t = 0; t < pre.db.num_transactions(); ++t)
+      tree.count_subsets(pre.db.transaction(t), t + 1);
+
+    frequent.clear();
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      if (tree.count(i) >= min_count) {
+        frequent.push_back(tree.candidate(i));
+        out.itemsets.add(to_original(tree.candidate(i), pre.original_item),
+                         tree.count(i));
+      }
+    }
+    out.levels.push_back(
+        {k, candidates.size(), frequent.size(), level.elapsed_ms(), 0});
+  }
+
+  out.itemsets.canonicalize();
+  out.host_ms = total.elapsed_ms();
+  return out;
+}
+
+}  // namespace miners

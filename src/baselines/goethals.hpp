@@ -1,0 +1,27 @@
+#pragma once
+// Goethals-style Apriori: horizontal layout, Agrawal's algorithm.
+//
+// The paper's Table 1 lists "Gothel Apriori" — Bart Goethals' public
+// implementation of classic Apriori, the only horizontal-representation
+// miner in the comparison (and, per §V, by far the slowest on dense data —
+// it only appears in Fig. 6(a)). Candidates live in a hash tree; support
+// counting enumerates candidate-sized subsets of every transaction by
+// walking the tree.
+
+#include "baselines/miner.hpp"
+
+namespace miners {
+
+class GoethalsApriori final : public Miner {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "Goethals Apriori";
+  }
+  [[nodiscard]] std::string_view platform() const override {
+    return "Single thread CPU";
+  }
+  [[nodiscard]] MiningOutput mine(const fim::TransactionDb& db,
+                                  const MiningParams& params) override;
+};
+
+}  // namespace miners

@@ -1,0 +1,122 @@
+#include "baselines/hash_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace miners {
+
+HashTree::HashTree(std::size_t k, std::size_t fanout, std::size_t leaf_capacity)
+    : k_(k),
+      fanout_(fanout),
+      leaf_capacity_(leaf_capacity),
+      root_(std::make_unique<Node>()) {
+  if (k == 0) throw std::invalid_argument("HashTree: k must be positive");
+  if (fanout < 2) throw std::invalid_argument("HashTree: fanout must be >= 2");
+}
+
+std::size_t HashTree::insert(const fim::Itemset& candidate) {
+  if (candidate.size() != k_)
+    throw std::invalid_argument("HashTree: candidate size mismatch");
+  const std::size_t idx = candidates_.size();
+  candidates_.push_back(candidate);
+  counts_.push_back(0);
+  insert_at(*root_, idx, 0);
+  return idx;
+}
+
+void HashTree::insert_at(Node& node, std::size_t cand, std::size_t depth) {
+  if (node.leaf) {
+    node.bucket.push_back(cand);
+    // Split overflowing leaves unless we've already consumed all k items
+    // (identically-hashed candidates then share one terminal leaf).
+    if (node.bucket.size() > leaf_capacity_ && depth < k_) split(node, depth);
+    return;
+  }
+  const fim::Item x = candidates_[cand][depth];
+  insert_at(*node.children[hash(x)], cand, depth + 1);
+}
+
+void HashTree::split(Node& node, std::size_t depth) {
+  std::vector<std::size_t> bucket = std::move(node.bucket);
+  node.bucket.clear();
+  node.leaf = false;
+  node.children.clear();
+  for (std::size_t i = 0; i < fanout_; ++i)
+    node.children.push_back(std::make_unique<Node>());
+  for (std::size_t cand : bucket)
+    insert_at(*node.children[hash(candidates_[cand][depth])], cand, depth + 1);
+}
+
+void HashTree::count_subsets(std::span<const fim::Item> transaction,
+                             std::uint64_t stamp) {
+  if (transaction.size() < k_) return;
+  const fim::Item max_item = transaction.back();
+  if (present_.size() <= max_item) present_.resize(max_item + 1, false);
+  for (fim::Item x : transaction) present_[x] = true;
+  walk(*root_, transaction, 0, stamp);
+  for (fim::Item x : transaction) present_[x] = false;
+}
+
+void HashTree::walk(Node& node, std::span<const fim::Item> tx,
+                    std::size_t start, std::uint64_t stamp) {
+  if (node.leaf) {
+    // A leaf may be reached along several paths within one transaction;
+    // the stamp makes the (full) subset tests run exactly once.
+    if (node.stamp == stamp) return;
+    node.stamp = stamp;
+    const fim::Item max_item = tx.back();
+    for (std::size_t cand : node.bucket) {
+      // Full containment test via the transaction's presence bitmap (the
+      // hash path only guarantees a plausible leaf; correctness rests on
+      // this test alone).
+      bool contained = true;
+      for (fim::Item x : candidates_[cand]) {
+        if (x > max_item || !present_[x]) {
+          contained = false;
+          break;
+        }
+      }
+      if (contained) counts_[cand] += 1;
+    }
+    return;
+  }
+  // Interior: try every remaining transaction item as the next path step.
+  // (The leaf-level containment test keeps this walk correct regardless of
+  // which refinements trim it.)
+  for (std::size_t j = start; j < tx.size(); ++j)
+    walk(*node.children[hash(tx[j])], tx, j + 1, stamp);
+}
+
+std::size_t HashTree::num_leaves() const {
+  std::size_t n = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->leaf) {
+      ++n;
+    } else {
+      for (const auto& c : node->children) stack.push_back(c.get());
+    }
+  }
+  return n;
+}
+
+std::size_t HashTree::max_depth() const {
+  std::size_t deepest = 0;
+  struct Frame {
+    const Node* node;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{root_.get(), 0}};
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    deepest = std::max(deepest, depth);
+    if (!node->leaf)
+      for (const auto& c : node->children) stack.push_back({c.get(), depth + 1});
+  }
+  return deepest;
+}
+
+}  // namespace miners

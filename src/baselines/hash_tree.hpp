@@ -1,0 +1,74 @@
+#pragma once
+// Hash tree for candidate storage — the data structure of the original
+// Agrawal & Srikant Apriori (VLDB'94 §2.1.2), used by the Goethals-style
+// horizontal baseline. Interior nodes hash on the next item; leaves hold
+// candidate lists and split when they overflow. subset() walks a
+// transaction through the tree and bumps the counter of every contained
+// candidate.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fim/itemset.hpp"
+
+namespace miners {
+
+class HashTree {
+ public:
+  /// `k` is the (uniform) candidate size. `fanout` and `leaf_capacity` are
+  /// the classic tuning knobs. The default fanout is sized for wide
+  /// candidate sets: terminal leaves at depth k cannot split further, so a
+  /// small fanout would leave huge buckets when many candidates share hash
+  /// chains (e.g. hundreds of thousands of 2-candidates).
+  explicit HashTree(std::size_t k, std::size_t fanout = 127,
+                    std::size_t leaf_capacity = 32);
+
+  /// Inserts a candidate; returns its dense index (counting slot).
+  std::size_t insert(const fim::Itemset& candidate);
+
+  [[nodiscard]] std::size_t size() const { return candidates_.size(); }
+  [[nodiscard]] const fim::Itemset& candidate(std::size_t i) const {
+    return candidates_[i];
+  }
+  [[nodiscard]] fim::Support count(std::size_t i) const { return counts_[i]; }
+
+  /// Counts every stored candidate contained in `transaction`
+  /// (strictly-increasing items). `stamp` must strictly increase across
+  /// calls (e.g. the transaction id) — it deduplicates multiple tree paths
+  /// reaching the same leaf.
+  void count_subsets(std::span<const fim::Item> transaction,
+                     std::uint64_t stamp);
+
+  /// Structural introspection for tests.
+  [[nodiscard]] std::size_t num_leaves() const;
+  [[nodiscard]] std::size_t max_depth() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<std::size_t> bucket;          ///< candidate indices (leaf)
+    std::vector<std::unique_ptr<Node>> children;  ///< size fanout (interior)
+    std::uint64_t stamp = ~std::uint64_t{0};
+  };
+
+  void insert_at(Node& node, std::size_t cand, std::size_t depth);
+  void split(Node& node, std::size_t depth);
+  void walk(Node& node, std::span<const fim::Item> tx, std::size_t start,
+            std::uint64_t stamp);
+
+  [[nodiscard]] std::size_t hash(fim::Item x) const { return x % fanout_; }
+
+  std::size_t k_;
+  std::size_t fanout_;
+  std::size_t leaf_capacity_;
+  std::unique_ptr<Node> root_;
+  std::vector<fim::Itemset> candidates_;
+  std::vector<fim::Support> counts_;
+  /// Per-transaction item presence bitmap (reused across calls): makes the
+  /// leaf-level containment test O(k) instead of O(|transaction|).
+  std::vector<bool> present_;
+};
+
+}  // namespace miners

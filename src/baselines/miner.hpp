@@ -1,0 +1,89 @@
+#pragma once
+// Common interface for every frequent-itemset miner in this repository —
+// the five algorithms of the paper's Table 1 plus the Eclat/FP-Growth
+// extensions. A uniform interface is what lets the integration tests use
+// cross-miner equivalence as the correctness oracle and the Fig. 6 benches
+// sweep all miners identically.
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "fim/result.hpp"
+#include "fim/transaction_db.hpp"
+
+namespace miners {
+
+struct MiningParams {
+  /// Minimum support as a fraction of |D|; used when min_support_abs == 0.
+  double min_support_ratio = 0.0;
+  /// Absolute minimum support count; takes precedence when non-zero.
+  fim::Support min_support_abs = 0;
+  /// Stop after itemsets of this size (0 = mine to exhaustion).
+  std::size_t max_itemset_size = 0;
+
+  /// The count threshold actually applied: an itemset is frequent iff its
+  /// support count >= resolve_min_count(|D|). Matches the paper's
+  /// "support ratio meeting the threshold" with ceil semantics.
+  [[nodiscard]] fim::Support resolve_min_count(std::size_t num_transactions) const {
+    if (min_support_abs > 0) return min_support_abs;
+    const double raw =
+        min_support_ratio * static_cast<double>(num_transactions);
+    const auto c = static_cast<fim::Support>(std::ceil(raw - 1e-9));
+    return c == 0 ? 1 : c;
+  }
+};
+
+/// Per-level progress of a levelwise (Apriori-family) miner.
+struct LevelStats {
+  std::size_t level = 0;       ///< candidate itemset size k
+  std::size_t candidates = 0;  ///< candidates counted at this level
+  std::size_t frequent = 0;    ///< survivors
+  double host_ms = 0;          ///< measured host time for the level
+  double device_ms = 0;        ///< simulated GPU time (GPApriori only)
+};
+
+struct MiningOutput {
+  fim::ItemsetCollection itemsets;
+  std::vector<LevelStats> levels;
+  double host_ms = 0;    ///< measured wall time on the CPU
+  double device_ms = 0;  ///< simulated device time (0 for CPU miners)
+
+  /// The number a Fig. 6 series reports: CPU work plus (for GPApriori)
+  /// simulated kernel + PCIe time.
+  [[nodiscard]] double total_ms() const { return host_ms + device_ms; }
+};
+
+class Miner {
+ public:
+  virtual ~Miner() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Table 1 "Platform" column.
+  [[nodiscard]] virtual std::string_view platform() const = 0;
+  [[nodiscard]] virtual MiningOutput mine(const fim::TransactionDb& db,
+                                          const MiningParams& params) = 0;
+};
+
+/// Simple wall-clock helper shared by the miners.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// All CPU baselines (Table 1 minus GPApriori, plus extensions).
+/// GPApriori itself lives in gpapriori/ and is added by that library's
+/// make_all_miners overload.
+[[nodiscard]] std::vector<std::unique_ptr<Miner>> make_cpu_miners();
+
+}  // namespace miners

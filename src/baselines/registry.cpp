@@ -1,0 +1,22 @@
+#include "baselines/miner.hpp"
+
+#include "baselines/bodon.hpp"
+#include "baselines/borgelt.hpp"
+#include "baselines/eclat.hpp"
+#include "baselines/fpgrowth.hpp"
+#include "baselines/goethals.hpp"
+
+namespace miners {
+
+std::vector<std::unique_ptr<Miner>> make_cpu_miners() {
+  std::vector<std::unique_ptr<Miner>> v;
+  v.push_back(std::make_unique<BorgeltApriori>());
+  v.push_back(std::make_unique<BodonApriori>());
+  v.push_back(std::make_unique<GoethalsApriori>());
+  v.push_back(std::make_unique<Eclat>(/*use_diffsets=*/false));
+  v.push_back(std::make_unique<Eclat>(/*use_diffsets=*/true));
+  v.push_back(std::make_unique<FpGrowth>());
+  return v;
+}
+
+}  // namespace miners

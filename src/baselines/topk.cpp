@@ -1,0 +1,84 @@
+#include "baselines/topk.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace miners {
+
+TopKResult mine_top_k(Miner& miner, const fim::TransactionDb& db,
+                      std::size_t k, std::size_t max_itemset_size) {
+  if (k == 0) throw std::invalid_argument("mine_top_k: k must be positive");
+  TopKResult result;
+  if (db.num_transactions() == 0) return result;
+
+  MiningParams params;
+  params.max_itemset_size = max_itemset_size;
+
+  auto run = [&](fim::Support min_count) {
+    params.min_support_abs = min_count;
+    result.mining_runs += 1;
+    return miner.mine(db, params).itemsets;
+  };
+
+  // Search FROM THE TOP: probing low thresholds first would materialize a
+  // potentially exponential collection on dense data. Geometric descent
+  // reaches a passing threshold within 2x of the optimum while only ever
+  // mining at thresholds >= s_K / 2; a binary search then pins the largest
+  // threshold t with |frequent(t)| >= k (counts are non-increasing in t).
+  const auto n = static_cast<fim::Support>(db.num_transactions());
+  fim::Support lo = n;
+  fim::Support hi = n + 1;  // smallest known-failing threshold
+  fim::ItemsetCollection at_lo = run(lo);
+  while (at_lo.size() < k && lo > 1) {
+    hi = lo;
+    // Gentle 0.9 descent: dense datasets have a support cliff (0 itemsets
+    // at 95%, millions at 50%), and a probe past the cliff materializes an
+    // exponential collection. Probes above the cliff are cheap, so the
+    // extra steps cost little. (gpapriori::mine_top_k_native avoids the
+    // re-mining entirely via a rising in-run threshold.)
+    lo = std::min<fim::Support>(lo - 1, std::max<fim::Support>(
+                                            1, lo - lo / 10));
+    at_lo = run(lo);
+  }
+  if (at_lo.size() <= k) {
+    // Either the database holds at most k itemsets in total (lo reached 1),
+    // or frequent(lo) is exactly the top-k (any itemset more frequent than
+    // a member would also have passed lo).
+    result.itemsets = std::move(at_lo);
+    fim::Support min_support = 0;
+    for (const auto& fs : result.itemsets)
+      min_support = min_support == 0 ? fs.support
+                                     : std::min(min_support, fs.support);
+    result.effective_min_support = min_support;
+    return result;
+  }
+  while (lo + 1 < hi) {
+    const fim::Support mid = lo + (hi - lo) / 2;
+    fim::ItemsetCollection got = run(mid);
+    if (got.size() >= k) {
+      lo = mid;
+      at_lo = std::move(got);
+    } else {
+      hi = mid;
+    }
+  }
+
+  // at_lo holds >= k itemsets at the tightest viable threshold. Keep the k
+  // best supports, extending through ties at the k-th place.
+  std::vector<fim::FrequentItemset> sets(at_lo.begin(), at_lo.end());
+  std::sort(sets.begin(), sets.end(),
+            [](const fim::FrequentItemset& a, const fim::FrequentItemset& b) {
+              return a.support != b.support ? a.support > b.support
+                                            : a.items < b.items;
+            });
+  const fim::Support kth = sets[k - 1].support;
+  for (const auto& fs : sets) {
+    if (fs.support < kth) break;
+    result.itemsets.add(fs.items, fs.support);
+  }
+  result.itemsets.canonicalize();
+  result.effective_min_support = kth;
+  return result;
+}
+
+}  // namespace miners

@@ -1,0 +1,35 @@
+#pragma once
+// Top-K frequent itemset mining.
+//
+// Instead of a minimum-support threshold (which takes domain knowledge to
+// choose), ask for the K most frequent itemsets. Implemented as a binary
+// search over the threshold using any Miner: counts of frequent itemsets
+// are non-increasing in the threshold, so the largest threshold whose
+// result still holds >= K itemsets is found in O(log |D|) mining runs,
+// each at a threshold no smaller than the final one (so never
+// catastrophically more expensive than the direct top-K run would be).
+
+#include <functional>
+
+#include "baselines/miner.hpp"
+#include "fim/result.hpp"
+
+namespace miners {
+
+struct TopKResult {
+  /// The K most frequent itemsets — more if ties straddle the K-th place
+  /// (ties are never split), fewer if the database has fewer itemsets.
+  fim::ItemsetCollection itemsets;
+  /// The threshold that realizes the result: support of the last kept set.
+  fim::Support effective_min_support = 0;
+  /// Mining runs the search needed.
+  std::size_t mining_runs = 0;
+};
+
+/// Finds the K most frequent itemsets (of size <= max_itemset_size when
+/// non-zero) using `miner`. Throws std::invalid_argument for k == 0.
+[[nodiscard]] TopKResult mine_top_k(Miner& miner,
+                                    const fim::TransactionDb& db, std::size_t k,
+                                    std::size_t max_itemset_size = 0);
+
+}  // namespace miners

@@ -1,0 +1,155 @@
+#include "core/candidate_trie.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gpapriori {
+
+CandidateTrie::CandidateTrie(std::size_t num_frequent_items) {
+  nodes_.reserve(num_frequent_items);
+  roots_.reserve(num_frequent_items);
+  std::vector<std::uint32_t> level1;
+  for (std::size_t i = 0; i < num_frequent_items; ++i) {
+    Node n;
+    n.item = static_cast<fim::Item>(i);
+    n.frequent = true;
+    roots_.push_back(static_cast<std::uint32_t>(nodes_.size()));
+    level1.push_back(static_cast<std::uint32_t>(nodes_.size()));
+    nodes_.push_back(std::move(n));
+  }
+  levels_.push_back(std::move(level1));
+}
+
+std::size_t CandidateTrie::extend() {
+  const std::size_t k = depth();  // candidates will have size k+1
+  std::vector<std::uint32_t> new_level;
+
+  // Parent groups: sibling lists that contain the (frequent) level-k nodes.
+  // Copied by value: creating child nodes below reallocates nodes_, which
+  // would invalidate any pointer into a Node's children vector.
+  std::vector<std::vector<std::uint32_t>> groups;
+  if (k == 1) {
+    groups.push_back(roots_);
+  } else {
+    for (std::uint32_t id : levels_[k - 2])
+      if (node(id).frequent && !node(id).children.empty())
+        groups.push_back(node(id).children);
+  }
+
+  std::vector<fim::Item> items;  // scratch: candidate item path
+  for (const auto& siblings : groups) {
+    for (std::size_t i = 0; i < siblings.size(); ++i) {
+      const std::uint32_t vi = siblings[i];
+      if (!node(vi).frequent) continue;
+      // Path to vi (ascending row ids).
+      items.clear();
+      for (std::uint32_t cur = vi; cur != kNoParent; cur = node(cur).parent)
+        items.push_back(node(cur).item);
+      std::reverse(items.begin(), items.end());
+      items.push_back(0);  // slot for the joined sibling's item
+
+      for (std::size_t j = i + 1; j < siblings.size(); ++j) {
+        const std::uint32_t vj = siblings[j];
+        if (!node(vj).frequent) continue;
+        items.back() = node(vj).item;
+
+        // Apriori prune: every k-subset must be frequent. Dropping the last
+        // or second-to-last item yields the two join parents (frequent by
+        // construction); check the remaining k-1 subsets.
+        bool ok = true;
+        if (items.size() > 2) {
+          std::vector<fim::Item> sub(items.size() - 1);
+          for (std::size_t drop = 0; ok && drop + 2 < items.size(); ++drop) {
+            sub.clear();
+            for (std::size_t p = 0; p < items.size(); ++p)
+              if (p != drop) sub.push_back(items[p]);
+            ok = is_frequent(sub);
+          }
+        }
+        if (!ok) continue;
+
+        Node child;
+        child.item = node(vj).item;
+        child.parent = vi;
+        const auto id = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back(std::move(child));
+        nodes_[vi].children.push_back(id);  // ascending: j increases
+        new_level.push_back(id);
+      }
+    }
+  }
+
+  const std::size_t created = new_level.size();
+  levels_.push_back(std::move(new_level));
+  return created;
+}
+
+std::vector<std::uint32_t> CandidateTrie::flatten_level(
+    std::size_t level) const {
+  const auto& lvl = levels_[level - 1];
+  std::vector<std::uint32_t> flat;
+  flat.reserve(lvl.size() * level);
+  std::vector<std::uint32_t> path;
+  for (std::uint32_t id : lvl) {
+    path.clear();
+    for (std::uint32_t cur = id; cur != kNoParent; cur = node(cur).parent)
+      path.push_back(node(cur).item);
+    std::reverse(path.begin(), path.end());
+    if (path.size() != level)
+      throw std::logic_error("CandidateTrie: node depth mismatch");
+    flat.insert(flat.end(), path.begin(), path.end());
+  }
+  return flat;
+}
+
+std::size_t CandidateTrie::mark_frequent(std::size_t level,
+                                         std::span<const fim::Support> supports,
+                                         fim::Support min_count) {
+  auto& lvl = levels_[level - 1];
+  if (supports.size() != lvl.size())
+    throw std::invalid_argument("CandidateTrie::mark_frequent: size mismatch");
+
+  std::vector<std::uint32_t> survivors;
+  survivors.reserve(lvl.size());
+  for (std::size_t i = 0; i < lvl.size(); ++i) {
+    const std::uint32_t id = lvl[i];
+    if (supports[i] >= min_count) {
+      nodes_[id].frequent = true;
+      survivors.push_back(id);
+    } else if (nodes_[id].parent != kNoParent) {
+      auto& siblings = nodes_[nodes_[id].parent].children;
+      siblings.erase(std::find(siblings.begin(), siblings.end(), id));
+    } else {
+      roots_.erase(std::find(roots_.begin(), roots_.end(), id));
+    }
+  }
+  lvl = std::move(survivors);
+  return lvl.size();
+}
+
+std::vector<fim::Item> CandidateTrie::candidate_items(std::size_t level,
+                                                      std::size_t i) const {
+  std::vector<fim::Item> path;
+  for (std::uint32_t cur = levels_[level - 1][i]; cur != kNoParent;
+       cur = node(cur).parent)
+    path.push_back(node(cur).item);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool CandidateTrie::is_frequent(std::span<const fim::Item> items) const {
+  if (items.empty()) return false;
+  const std::vector<std::uint32_t>* children = &roots_;
+  std::uint32_t found = kNoParent;
+  for (fim::Item x : items) {
+    auto it = std::lower_bound(
+        children->begin(), children->end(), x,
+        [this](std::uint32_t id, fim::Item v) { return node(id).item < v; });
+    if (it == children->end() || node(*it).item != x) return false;
+    found = *it;
+    children = &node(found).children;
+  }
+  return node(found).frequent;
+}
+
+}  // namespace gpapriori

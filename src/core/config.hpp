@@ -1,0 +1,62 @@
+#pragma once
+// Tuning knobs of the GPApriori implementation — the §IV.3 optimizations
+// (candidate preloading, hand-unrolled inner loop, hand-tuned block size)
+// are exposed here so the ablation benches can toggle each one.
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+
+namespace gpapriori {
+
+struct Config {
+  /// Threads per block for the support kernel (paper: hand-tuned; must be a
+  /// power of two so the tree reduction is exact). 0 = auto-tune per run:
+  /// the smallest power of two covering the bitset row width, clamped to
+  /// [64, 256] — short rows avoid idle threads, long rows keep the SM at
+  /// full occupancy (see auto_block_size()).
+  std::uint32_t block_size = 256;
+
+  /// The auto-tuning rule applied when block_size == 0.
+  [[nodiscard]] static std::uint32_t auto_block_size(
+      std::size_t words_per_row) {
+    std::uint32_t b = 64;
+    while (b < 256 && b < words_per_row) b <<= 1;
+    return b;
+  }
+
+  /// §IV.3 (1): preload the candidate's row ids into shared memory at
+  /// kernel start instead of re-reading them from global memory per chunk.
+  bool candidate_preload = true;
+
+  /// §IV.3 (2): manual unroll factor of the AND/popcount loop. Modeled as
+  /// loop-control instructions amortized over `unroll` iterations.
+  std::uint32_t unroll = 4;
+
+  /// Device to simulate.
+  gpusim::DeviceProperties device = gpusim::DeviceProperties::tesla_t10();
+
+  /// Simulated DRAM arena actually allocated host-side.
+  std::size_t arena_bytes = 256ull << 20;
+
+  /// Detailed coalescing analysis stride (gpusim::ExecutorOptions).
+  std::uint64_t sample_stride = 64;
+
+  /// Bounds-check every device access against live allocations (tests).
+  bool strict_memory = false;
+
+  [[nodiscard]] bool valid_block_size() const {
+    return block_size == 0 ||
+           (block_size >= 32 && block_size <= 512 &&
+            (block_size & (block_size - 1)) == 0);
+  }
+
+  /// The block size a driver should launch with for rows of the given
+  /// width: the configured value, or the auto-tuned one when 0.
+  [[nodiscard]] std::uint32_t resolve_block_size(
+      std::size_t words_per_row) const {
+    return block_size == 0 ? auto_block_size(words_per_row) : block_size;
+  }
+};
+
+}  // namespace gpapriori

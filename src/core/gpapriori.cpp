@@ -1,0 +1,209 @@
+#include "core/gpapriori.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baselines/apriori_util.hpp"
+#include "core/candidate_trie.hpp"
+#include "core/support_kernel.hpp"
+#include "fim/bitset_ops.hpp"
+
+namespace gpapriori {
+namespace {
+
+// CUDA 2.x grids are limited to 65535 blocks per dimension; levels with
+// more candidates are counted in batches, as the real implementation would.
+constexpr std::uint32_t kMaxGridX = 65'535;
+
+/// Emits the frequent itemsets of a trie level into the output collection,
+/// translating dense row ids back to original item ids.
+void emit_level(const CandidateTrie& trie, std::size_t level,
+                std::span<const fim::Support> supports_of_survivors,
+                const std::vector<fim::Item>& original_item,
+                fim::ItemsetCollection& out) {
+  for (std::size_t i = 0; i < trie.level_size(level); ++i) {
+    const auto rows = trie.candidate_items(level, i);
+    std::vector<fim::Item> items;
+    items.reserve(rows.size());
+    for (fim::Item r : rows) items.push_back(original_item[r]);
+    out.add(fim::Itemset(std::move(items)), supports_of_survivors[i]);
+  }
+}
+
+}  // namespace
+
+GpApriori::GpApriori(Config cfg) : cfg_(cfg) {
+  if (!cfg_.valid_block_size())
+    throw std::invalid_argument(
+        "GpApriori: block_size must be a power of two in [32, 512]");
+  if (cfg_.unroll == 0)
+    throw std::invalid_argument("GpApriori: unroll must be >= 1");
+}
+
+miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
+                                     const miners::MiningParams& params) {
+  miners::MiningOutput out;
+  const fim::Support min_count = params.resolve_min_count(db.num_transactions());
+  history_.clear();
+  ledger_.reset();
+
+  // ---- Host: preprocessing + static bitset construction (measured). ----
+  miners::StopWatch host;
+  miners::Preprocessed pre =
+      miners::preprocess(db, min_count, miners::ItemOrder::kAscendingFreq);
+  const std::size_t n = pre.original_item.size();
+
+  std::vector<fim::Item> rows(n);
+  for (fim::Item i = 0; i < n; ++i) rows[i] = i;
+  const fim::BitsetStore store = fim::BitsetStore::from_db(pre.db, rows);
+
+  CandidateTrie trie(n);
+  for (fim::Item x = 0; x < n; ++x)
+    out.itemsets.add(fim::Itemset{pre.original_item[x]}, pre.support[x]);
+  out.levels.push_back({1, n, n, host.elapsed_ms(), 0});
+  out.host_ms += host.elapsed_ms();
+
+  if (n == 0) {
+    out.itemsets.canonicalize();
+    return out;
+  }
+
+  // ---- Device setup: the one-time static-bitset upload. ----
+  gpusim::DeviceOptions dopts;
+  dopts.arena_bytes = cfg_.arena_bytes;
+  dopts.strict_memory = cfg_.strict_memory;
+  dopts.executor.sample_stride = cfg_.sample_stride;
+  gpusim::Device device(cfg_.device, dopts);
+
+  const auto arena = store.arena();
+  auto d_bitsets = device.alloc<std::uint32_t>(arena.size(),
+                                               fim::BitsetStore::kAlignBytes);
+  device.copy_to_device(d_bitsets, arena);
+  const std::uint32_t block_size =
+      cfg_.resolve_block_size(store.words_per_row());
+
+  // ---- Level loop. ----
+  for (std::size_t k = 2;; ++k) {
+    if (params.max_itemset_size && k > params.max_itemset_size) break;
+
+    host.restart();
+    const std::size_t ncand = trie.extend();
+    if (ncand == 0) break;
+    const std::vector<std::uint32_t> flat = trie.flatten_level(k);
+    double level_host_ms = host.elapsed_ms();
+
+    const double device_ns_before = ledger_.total_ns();
+
+    auto d_cand = device.alloc<std::uint32_t>(flat.size());
+    auto d_sup = device.alloc<std::uint32_t>(ncand);
+    device.copy_to_device(d_cand, std::span<const std::uint32_t>(flat));
+
+    SupportKernel::Args args;
+    args.bitsets = d_bitsets;
+    args.stride_words = static_cast<std::uint32_t>(store.row_stride_words());
+    args.words_per_row = static_cast<std::uint32_t>(store.words_per_row());
+    args.candidates = d_cand;
+    args.k = static_cast<std::uint32_t>(k);
+    args.supports = d_sup;
+
+    for (std::uint32_t done = 0; done < ncand;) {
+      const auto batch = std::min<std::uint32_t>(
+          kMaxGridX, static_cast<std::uint32_t>(ncand) - done);
+      args.first_candidate = done;
+      SupportKernel kernel(args, cfg_.candidate_preload, cfg_.unroll);
+      gpusim::LaunchConfig cfg{gpusim::Dim3{batch},
+                               gpusim::Dim3{block_size}};
+      history_.push_back(device.launch(kernel, cfg));
+      done += batch;
+    }
+
+    std::vector<std::uint32_t> supports(ncand);
+    device.copy_to_host(std::span<std::uint32_t>(supports), d_sup);
+    device.free(d_cand);
+    device.free(d_sup);
+    ledger_ = device.ledger();
+    const double level_device_ms =
+        (ledger_.total_ns() - device_ns_before) / 1e6;
+
+    // ---- Host: prune + record (measured). ----
+    host.restart();
+    trie.mark_frequent(k, supports, min_count);
+    std::vector<fim::Support> kept;
+    kept.reserve(trie.level_size(k));
+    for (std::uint32_t s : supports)
+      if (s >= min_count) kept.push_back(s);
+    emit_level(trie, k, kept, pre.original_item, out.itemsets);
+    level_host_ms += host.elapsed_ms();
+
+    out.levels.push_back(
+        {k, ncand, trie.level_size(k), level_host_ms, level_device_ms});
+    out.host_ms += level_host_ms;
+    if (trie.level_size(k) == 0) break;
+  }
+
+  ledger_ = device.ledger();
+  out.device_ms = ledger_.total_ns() / 1e6;
+  out.itemsets.canonicalize();
+  return out;
+}
+
+miners::MiningOutput CpuBitsetApriori::mine(const fim::TransactionDb& db,
+                                            const miners::MiningParams& params) {
+  const miners::StopWatch total;
+  miners::MiningOutput out;
+  const fim::Support min_count = params.resolve_min_count(db.num_transactions());
+
+  miners::Preprocessed pre =
+      miners::preprocess(db, min_count, miners::ItemOrder::kAscendingFreq);
+  const std::size_t n = pre.original_item.size();
+
+  std::vector<fim::Item> rows(n);
+  for (fim::Item i = 0; i < n; ++i) rows[i] = i;
+  const fim::BitsetStore store = fim::BitsetStore::from_db(pre.db, rows);
+
+  CandidateTrie trie(n);
+  for (fim::Item x = 0; x < n; ++x)
+    out.itemsets.add(fim::Itemset{pre.original_item[x]}, pre.support[x]);
+  out.levels.push_back({1, n, n, 0, 0});
+
+  for (std::size_t k = 2; n > 0; ++k) {
+    if (params.max_itemset_size && k > params.max_itemset_size) break;
+    const miners::StopWatch level;
+    const std::size_t ncand = trie.extend();
+    if (ncand == 0) break;
+    const std::vector<std::uint32_t> flat = trie.flatten_level(k);
+
+    // Complete intersection on the host: the same k-way AND + popcount the
+    // kernel performs, over the same 64-byte-aligned store.
+    std::vector<fim::Support> supports(ncand);
+    for (std::size_t c = 0; c < ncand; ++c)
+      supports[c] = store.and_popcount(
+          std::span<const std::uint32_t>(flat).subspan(c * k, k));
+
+    trie.mark_frequent(k, supports, min_count);
+    std::vector<fim::Support> kept;
+    kept.reserve(trie.level_size(k));
+    for (fim::Support s : supports)
+      if (s >= min_count) kept.push_back(s);
+    emit_level(trie, k, kept, pre.original_item, out.itemsets);
+
+    out.levels.push_back(
+        {k, ncand, trie.level_size(k), level.elapsed_ms(), 0});
+    if (trie.level_size(k) == 0) break;
+  }
+
+  out.itemsets.canonicalize();
+  out.host_ms = total.elapsed_ms();
+  return out;
+}
+
+std::vector<std::unique_ptr<miners::Miner>> make_all_miners(
+    const Config& gpapriori_config) {
+  std::vector<std::unique_ptr<miners::Miner>> v;
+  v.push_back(std::make_unique<GpApriori>(gpapriori_config));
+  v.push_back(std::make_unique<CpuBitsetApriori>());
+  for (auto& m : miners::make_cpu_miners()) v.push_back(std::move(m));
+  return v;
+}
+
+}  // namespace gpapriori

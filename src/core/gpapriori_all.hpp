@@ -1,0 +1,16 @@
+#pragma once
+// Umbrella header for the GPApriori core library.
+
+#include "core/candidate_trie.hpp"
+#include "core/config.hpp"
+#include "core/eqclass.hpp"
+#include "core/gpapriori.hpp"
+#include "core/gpu_eclat.hpp"
+#include "core/horizontal_kernel.hpp"
+#include "core/hybrid.hpp"
+#include "core/multi_gpu.hpp"
+#include "core/partitioned.hpp"
+#include "core/pipelined.hpp"
+#include "core/support_kernel.hpp"
+#include "core/tidset_kernel.hpp"
+#include "core/topk_miner.hpp"

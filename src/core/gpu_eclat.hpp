@@ -1,0 +1,41 @@
+#pragma once
+// GPU Eclat — the paper's §VI future work, implemented.
+//
+// "Future work on the research includes how to parallelize other FIM
+// algorithm such as FPGrowth and Eclat on GPU." This module does it for
+// Eclat: the host drives the usual prefix-equivalence-class DFS, but every
+// class extension step runs on the device as one batched kernel — block b
+// computes (class row i) AND (class row j) into a new class row plus its
+// support, reusing EqClassKernel. Class bitset rows live in device memory
+// for the lifetime of their DFS subtree and are freed on backtrack, so
+// device memory is bounded by the DFS path width rather than a whole level.
+
+#include "baselines/miner.hpp"
+#include "core/config.hpp"
+#include "gpusim/device_context.hpp"
+
+namespace gpapriori {
+
+class GpuEclat final : public miners::Miner {
+ public:
+  explicit GpuEclat(Config cfg = {});
+
+  [[nodiscard]] std::string_view name() const override { return "GPU Eclat"; }
+  [[nodiscard]] std::string_view platform() const override {
+    return "GPU + single thread CPU";
+  }
+  [[nodiscard]] miners::MiningOutput mine(const fim::TransactionDb& db,
+                                          const miners::MiningParams& params) override;
+
+  [[nodiscard]] const gpusim::TimeLedger& ledger() const { return ledger_; }
+  [[nodiscard]] std::size_t peak_device_bytes() const {
+    return peak_device_bytes_;
+  }
+
+ private:
+  Config cfg_;
+  gpusim::TimeLedger ledger_;
+  std::size_t peak_device_bytes_ = 0;
+};
+
+}  // namespace gpapriori

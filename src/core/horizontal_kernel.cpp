@@ -1,0 +1,51 @@
+#include "core/horizontal_kernel.hpp"
+
+namespace gpapriori {
+
+void HorizontalCountKernel::run_phase(std::uint32_t /*phase*/,
+                                      gpusim::ThreadCtx& t) const {
+  const std::uint64_t stride =
+      static_cast<std::uint64_t>(t.grid_dim().x) * t.block_dim().x;
+  const std::uint64_t first =
+      t.flat_block_idx() * t.block_dim().x + t.flat_tid();
+
+  for (std::uint64_t tx = first; tx < args_.num_transactions; tx += stride) {
+    const std::uint32_t lo = t.ld_global(args_.offsets, tx);
+    const std::uint32_t hi = t.ld_global(args_.offsets, tx + 1);
+    const std::uint32_t len = hi - lo;
+    t.alu(2);
+
+    for (std::uint32_t c = 0; c < args_.num_candidates; ++c) {
+      if (len < args_.k) {
+        t.alu(1);
+        continue;
+      }
+      // Merge the sorted candidate against the sorted transaction.
+      std::uint32_t matched = 0, j = 0;
+      for (std::uint32_t ci = 0; ci < args_.k; ++ci) {
+        const std::uint32_t want =
+            t.ld_global(args_.candidates,
+                        static_cast<std::uint64_t>(c) * args_.k + ci);
+        while (j < len) {
+          const std::uint32_t have = t.ld_global(args_.items, lo + j);
+          t.alu(1);
+          ++j;
+          if (have == want) {
+            ++matched;
+            break;
+          }
+          if (have > want) {  // sorted: overshot, candidate absent
+            j = len;
+            break;
+          }
+        }
+        if (matched != ci + 1) break;
+      }
+      if (matched == args_.k)
+        t.atomic_add_global(args_.supports, c, 1);
+      t.alu(2);  // candidate-loop control
+    }
+  }
+}
+
+}  // namespace gpapriori

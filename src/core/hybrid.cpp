@@ -1,0 +1,163 @@
+#include "core/hybrid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baselines/apriori_util.hpp"
+#include "core/candidate_trie.hpp"
+#include "core/support_kernel.hpp"
+#include "fim/bitset_ops.hpp"
+
+namespace gpapriori {
+
+HybridApriori::HybridApriori(Config cfg, double initial_gpu_fraction)
+    : cfg_(cfg), initial_gpu_fraction_(initial_gpu_fraction) {
+  if (!cfg_.valid_block_size())
+    throw std::invalid_argument(
+        "HybridApriori: block_size must be a power of two in [32, 512]");
+  if (initial_gpu_fraction_ < 0.0 || initial_gpu_fraction_ > 1.0)
+    throw std::invalid_argument(
+        "HybridApriori: initial_gpu_fraction must be in [0, 1]");
+}
+
+miners::MiningOutput HybridApriori::mine(const fim::TransactionDb& db,
+                                         const miners::MiningParams& params) {
+  miners::MiningOutput out;
+  const fim::Support min_count = params.resolve_min_count(db.num_transactions());
+  reports_.clear();
+
+  miners::StopWatch host;
+  miners::Preprocessed pre =
+      miners::preprocess(db, min_count, miners::ItemOrder::kAscendingFreq);
+  const std::size_t n = pre.original_item.size();
+
+  std::vector<fim::Item> rows(n);
+  for (fim::Item i = 0; i < n; ++i) rows[i] = i;
+  const fim::BitsetStore store = fim::BitsetStore::from_db(pre.db, rows);
+
+  CandidateTrie trie(n);
+  for (fim::Item x = 0; x < n; ++x)
+    out.itemsets.add(fim::Itemset{pre.original_item[x]}, pre.support[x]);
+  out.levels.push_back({1, n, n, host.elapsed_ms(), 0});
+  out.host_ms += host.elapsed_ms();
+  if (n == 0) {
+    out.itemsets.canonicalize();
+    return out;
+  }
+
+  gpusim::DeviceOptions dopts;
+  dopts.arena_bytes = cfg_.arena_bytes;
+  dopts.strict_memory = cfg_.strict_memory;
+  dopts.executor.sample_stride = cfg_.sample_stride;
+  dopts.record_launches = false;
+  gpusim::Device device(cfg_.device, dopts);
+  auto d_bitsets = device.alloc<std::uint32_t>(store.arena().size(),
+                                               fim::BitsetStore::kAlignBytes);
+  device.copy_to_device(d_bitsets, store.arena());
+
+  // Observed per-candidate costs (ms), updated every level.
+  double cpu_ms_per_cand = 0, gpu_ms_per_cand = 0;
+  double gpu_fraction = std::clamp(initial_gpu_fraction_, 0.0, 1.0);
+
+  for (std::size_t k = 2;; ++k) {
+    if (params.max_itemset_size && k > params.max_itemset_size) break;
+    host.restart();
+    const std::size_t ncand = trie.extend();
+    if (ncand == 0) break;
+    const std::vector<std::uint32_t> flat = trie.flatten_level(k);
+    double level_host = host.elapsed_ms();
+
+    // Balance: choose f so f*g == (1-f)*c given per-candidate costs g, c.
+    if (cpu_ms_per_cand > 0 && gpu_ms_per_cand > 0)
+      gpu_fraction =
+          cpu_ms_per_cand / (cpu_ms_per_cand + gpu_ms_per_cand);
+    const std::size_t gpu_cands =
+        std::min(ncand, static_cast<std::size_t>(
+                            static_cast<double>(ncand) * gpu_fraction + 0.5));
+    const std::size_t cpu_cands = ncand - gpu_cands;
+
+    std::vector<fim::Support> supports(ncand);
+
+    // --- device share: candidates [0, gpu_cands) ---
+    double gpu_ms = 0;
+    if (gpu_cands > 0) {
+      const double before = device.ledger().total_ns();
+      auto d_cand = device.alloc<std::uint32_t>(gpu_cands * k);
+      device.copy_to_device(
+          d_cand, std::span<const std::uint32_t>(flat).subspan(0, gpu_cands * k));
+      auto d_sup = device.alloc<std::uint32_t>(gpu_cands);
+      SupportKernel::Args args;
+      args.bitsets = d_bitsets;
+      args.stride_words = static_cast<std::uint32_t>(store.row_stride_words());
+      args.words_per_row = static_cast<std::uint32_t>(store.words_per_row());
+      args.candidates = d_cand;
+      args.k = static_cast<std::uint32_t>(k);
+      args.supports = d_sup;
+      for (std::uint32_t done = 0; done < gpu_cands;) {
+        const auto batch = std::min<std::uint32_t>(
+            65'535, static_cast<std::uint32_t>(gpu_cands) - done);
+        args.first_candidate = done;
+        SupportKernel kernel(args, cfg_.candidate_preload, cfg_.unroll);
+        device.launch(kernel,
+                      {gpusim::Dim3{batch},
+                       gpusim::Dim3{cfg_.resolve_block_size(store.words_per_row())}});
+        done += batch;
+      }
+      std::vector<std::uint32_t> gpu_sup(gpu_cands);
+      device.copy_to_host(std::span<std::uint32_t>(gpu_sup), d_sup);
+      std::copy(gpu_sup.begin(), gpu_sup.end(), supports.begin());
+      device.free(d_cand);
+      device.free(d_sup);
+      gpu_ms = (device.ledger().total_ns() - before) / 1e6;
+    }
+
+    // --- host share: candidates [gpu_cands, ncand), measured ---
+    double cpu_ms = 0;
+    if (cpu_cands > 0) {
+      miners::StopWatch cpu_watch;
+      for (std::size_t c = gpu_cands; c < ncand; ++c)
+        supports[c] = store.and_popcount(
+            std::span<const std::uint32_t>(flat).subspan(c * k, k));
+      cpu_ms = cpu_watch.elapsed_ms();
+    }
+
+    // Throughput feedback for the next level's split.
+    if (gpu_cands > 0)
+      gpu_ms_per_cand = gpu_ms / static_cast<double>(gpu_cands);
+    if (cpu_cands > 0)
+      cpu_ms_per_cand = cpu_ms / static_cast<double>(cpu_cands);
+
+    host.restart();
+    trie.mark_frequent(k, supports, min_count);
+    std::vector<fim::Support> kept;
+    for (fim::Support s : supports)
+      if (s >= min_count) kept.push_back(s);
+    for (std::size_t i = 0; i < trie.level_size(k); ++i) {
+      const auto r = trie.candidate_items(k, i);
+      std::vector<fim::Item> items;
+      for (fim::Item x : r) items.push_back(pre.original_item[x]);
+      out.itemsets.add(fim::Itemset(std::move(items)), kept[i]);
+    }
+    level_host += host.elapsed_ms();
+
+    // Overlap model: both shares run concurrently; the level costs the
+    // slower side. Recorded in the level's device_ms column (host_ms keeps
+    // the serial trie work).
+    const double counted = std::max(cpu_ms, gpu_ms);
+    reports_.push_back({k, ncand,
+                        ncand ? static_cast<double>(gpu_cands) /
+                                    static_cast<double>(ncand)
+                              : 0.0,
+                        cpu_ms, gpu_ms});
+    out.levels.push_back(
+        {k, ncand, trie.level_size(k), level_host, counted});
+    out.host_ms += level_host;
+    out.device_ms += counted;
+    if (trie.level_size(k) == 0) break;
+  }
+
+  out.itemsets.canonicalize();
+  return out;
+}
+
+}  // namespace gpapriori

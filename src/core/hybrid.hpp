@@ -1,0 +1,52 @@
+#pragma once
+// Load-balanced CPU/GPU mining — the paper's §VI future work, implemented.
+//
+// "…devise a load-balanced computation model across CPU/GPU platform."
+// HybridApriori splits every level's candidate list between the host CPU
+// (complete intersection over the same static bitset store) and the
+// simulated GPU (SupportKernel), then OVERLAPS them: while the device
+// counts its share, the host counts the rest, so a level costs
+// max(cpu_share_time, gpu_share_time). The split fraction is self-tuning —
+// each level's observed per-candidate throughput on both sides updates the
+// next level's split (a classic work-stealing-free static balancer).
+
+#include "baselines/miner.hpp"
+#include "core/config.hpp"
+#include "gpusim/device_context.hpp"
+
+namespace gpapriori {
+
+struct HybridLevelReport {
+  std::size_t level = 0;
+  std::size_t candidates = 0;
+  double gpu_fraction = 0;  ///< share of candidates sent to the device
+  double cpu_ms = 0;        ///< measured host counting time
+  double gpu_ms = 0;        ///< simulated device time
+};
+
+class HybridApriori final : public miners::Miner {
+ public:
+  /// `initial_gpu_fraction` seeds the split before any throughput has been
+  /// observed (level 2 uses it as-is).
+  explicit HybridApriori(Config cfg = {}, double initial_gpu_fraction = 0.8);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "Hybrid CPU+GPU Apriori";
+  }
+  [[nodiscard]] std::string_view platform() const override {
+    return "GPU + single thread CPU (overlapped)";
+  }
+  [[nodiscard]] miners::MiningOutput mine(const fim::TransactionDb& db,
+                                          const miners::MiningParams& params) override;
+
+  [[nodiscard]] const std::vector<HybridLevelReport>& level_reports() const {
+    return reports_;
+  }
+
+ private:
+  Config cfg_;
+  double initial_gpu_fraction_;
+  std::vector<HybridLevelReport> reports_;
+};
+
+}  // namespace gpapriori

@@ -1,0 +1,156 @@
+#include "core/multi_gpu.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baselines/apriori_util.hpp"
+#include "core/candidate_trie.hpp"
+#include "core/support_kernel.hpp"
+#include "fim/bitset_ops.hpp"
+
+namespace gpapriori {
+
+MultiGpuApriori::MultiGpuApriori(Config cfg, int num_devices)
+    : cfg_(cfg),
+      num_devices_(num_devices),
+      name_("GPApriori x" + std::to_string(num_devices)) {
+  if (!cfg_.valid_block_size())
+    throw std::invalid_argument(
+        "MultiGpuApriori: block_size must be a power of two in [32, 512]");
+  if (num_devices < 1 || num_devices > 16)
+    throw std::invalid_argument("MultiGpuApriori: 1..16 devices");
+}
+
+miners::MiningOutput MultiGpuApriori::mine(const fim::TransactionDb& db,
+                                           const miners::MiningParams& params) {
+  miners::MiningOutput out;
+  const fim::Support min_count = params.resolve_min_count(db.num_transactions());
+  reports_.clear();
+
+  miners::StopWatch host;
+  miners::Preprocessed pre =
+      miners::preprocess(db, min_count, miners::ItemOrder::kAscendingFreq);
+  const std::size_t n = pre.original_item.size();
+
+  std::vector<fim::Item> rows(n);
+  for (fim::Item i = 0; i < n; ++i) rows[i] = i;
+  const fim::BitsetStore store = fim::BitsetStore::from_db(pre.db, rows);
+
+  CandidateTrie trie(n);
+  for (fim::Item x = 0; x < n; ++x)
+    out.itemsets.add(fim::Itemset{pre.original_item[x]}, pre.support[x]);
+  out.levels.push_back({1, n, n, host.elapsed_ms(), 0});
+  out.host_ms += host.elapsed_ms();
+  if (n == 0) {
+    out.itemsets.canonicalize();
+    return out;
+  }
+
+  // One simulated T10 per slot; the static bitsets are replicated. The
+  // replication copies happen once and concurrently (one PCIe link per
+  // device on the S1070 host), so setup costs one transfer, not N.
+  gpusim::DeviceOptions dopts;
+  dopts.arena_bytes = cfg_.arena_bytes;
+  dopts.strict_memory = cfg_.strict_memory;
+  dopts.executor.sample_stride = cfg_.sample_stride;
+  dopts.record_launches = false;
+  std::vector<std::unique_ptr<gpusim::Device>> devices;
+  std::vector<gpusim::DevicePtr<std::uint32_t>> d_bitsets;
+  double setup_ns = 0;
+  for (int d = 0; d < num_devices_; ++d) {
+    devices.push_back(
+        std::make_unique<gpusim::Device>(cfg_.device, dopts));
+    d_bitsets.push_back(devices.back()->alloc<std::uint32_t>(
+        store.arena().size(), fim::BitsetStore::kAlignBytes));
+    devices.back()->copy_to_device(d_bitsets.back(), store.arena());
+    setup_ns = std::max(setup_ns, devices.back()->ledger().total_ns());
+    devices.back()->reset_ledger();
+  }
+  out.device_ms += setup_ns / 1e6;
+
+  for (std::size_t k = 2;; ++k) {
+    if (params.max_itemset_size && k > params.max_itemset_size) break;
+    host.restart();
+    const std::size_t ncand = trie.extend();
+    if (ncand == 0) break;
+    const std::vector<std::uint32_t> flat = trie.flatten_level(k);
+    double level_host = host.elapsed_ms();
+
+    std::vector<fim::Support> supports(ncand);
+    MultiGpuLevelReport report;
+    report.level = k;
+    report.candidates = ncand;
+
+    const std::size_t per_dev =
+        (ncand + static_cast<std::size_t>(num_devices_) - 1) /
+        static_cast<std::size_t>(num_devices_);
+    for (int d = 0; d < num_devices_; ++d) {
+      const std::size_t lo = static_cast<std::size_t>(d) * per_dev;
+      if (lo >= ncand) {
+        report.per_device_ms.push_back(0);
+        continue;
+      }
+      const std::size_t hi = std::min(ncand, lo + per_dev);
+      const std::size_t slice = hi - lo;
+      auto& dev = *devices[static_cast<std::size_t>(d)];
+      const double before = dev.ledger().total_ns();
+
+      auto d_cand = dev.alloc<std::uint32_t>(slice * k);
+      dev.copy_to_device(d_cand, std::span<const std::uint32_t>(flat).subspan(
+                                     lo * k, slice * k));
+      auto d_sup = dev.alloc<std::uint32_t>(slice);
+      SupportKernel::Args args;
+      args.bitsets = d_bitsets[static_cast<std::size_t>(d)];
+      args.stride_words = static_cast<std::uint32_t>(store.row_stride_words());
+      args.words_per_row = static_cast<std::uint32_t>(store.words_per_row());
+      args.candidates = d_cand;
+      args.k = static_cast<std::uint32_t>(k);
+      args.supports = d_sup;
+      for (std::uint32_t done = 0; done < slice;) {
+        const auto batch = std::min<std::uint32_t>(
+            65'535, static_cast<std::uint32_t>(slice) - done);
+        args.first_candidate = done;
+        SupportKernel kernel(args, cfg_.candidate_preload, cfg_.unroll);
+        dev.launch(kernel,
+                   {gpusim::Dim3{batch},
+                    gpusim::Dim3{cfg_.resolve_block_size(store.words_per_row())}});
+        done += batch;
+      }
+      std::vector<std::uint32_t> slice_sup(slice);
+      dev.copy_to_host(std::span<std::uint32_t>(slice_sup), d_sup);
+      std::copy(slice_sup.begin(), slice_sup.end(),
+                supports.begin() + static_cast<std::ptrdiff_t>(lo));
+      dev.free(d_cand);
+      dev.free(d_sup);
+      report.per_device_ms.push_back(
+          (dev.ledger().total_ns() - before) / 1e6);
+    }
+    report.level_ms = *std::max_element(report.per_device_ms.begin(),
+                                        report.per_device_ms.end());
+    reports_.push_back(report);
+
+    host.restart();
+    trie.mark_frequent(k, supports, min_count);
+    std::vector<fim::Support> kept;
+    for (fim::Support s : supports)
+      if (s >= min_count) kept.push_back(s);
+    for (std::size_t i = 0; i < trie.level_size(k); ++i) {
+      const auto r = trie.candidate_items(k, i);
+      std::vector<fim::Item> items;
+      for (fim::Item x : r) items.push_back(pre.original_item[x]);
+      out.itemsets.add(fim::Itemset(std::move(items)), kept[i]);
+    }
+    level_host += host.elapsed_ms();
+
+    out.levels.push_back(
+        {k, ncand, trie.level_size(k), level_host, report.level_ms});
+    out.host_ms += level_host;
+    out.device_ms += report.level_ms;
+    if (trie.level_size(k) == 0) break;
+  }
+
+  out.itemsets.canonicalize();
+  return out;
+}
+
+}  // namespace gpapriori

@@ -1,0 +1,53 @@
+#pragma once
+// Multi-GPU mining across a Tesla S1070 — the paper's §VI "GPU cluster"
+// future work, implemented for the very hardware the paper had: the
+// experiments ran on "a Tesla S1070 GPU server with four Tesla T10 GPUs,
+// although we currently use only one GPU".
+//
+// Scheme: the generation-1 static bitsets are replicated onto every device
+// at mining start (they are small and read-only); each level's candidate
+// list is partitioned contiguously across devices, every device counts its
+// slice concurrently, and the level's device time is the slowest slice
+// (plus its own PCIe traffic). This is the natural first parallelization —
+// no inter-GPU communication at all — and the scaling bench shows where
+// per-level launch/transfer overheads cap it.
+
+#include <memory>
+
+#include "baselines/miner.hpp"
+#include "core/config.hpp"
+#include "gpusim/device_context.hpp"
+
+namespace gpapriori {
+
+struct MultiGpuLevelReport {
+  std::size_t level = 0;
+  std::size_t candidates = 0;
+  std::vector<double> per_device_ms;  ///< simulated time per device
+  double level_ms = 0;                ///< max over devices
+};
+
+class MultiGpuApriori final : public miners::Miner {
+ public:
+  explicit MultiGpuApriori(Config cfg = {}, int num_devices = 4);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::string_view platform() const override {
+    return "Multi-GPU (Tesla S1070) + single thread CPU";
+  }
+  [[nodiscard]] miners::MiningOutput mine(const fim::TransactionDb& db,
+                                          const miners::MiningParams& params) override;
+
+  [[nodiscard]] int num_devices() const { return num_devices_; }
+  [[nodiscard]] const std::vector<MultiGpuLevelReport>& level_reports() const {
+    return reports_;
+  }
+
+ private:
+  Config cfg_;
+  int num_devices_;
+  std::string name_;
+  std::vector<MultiGpuLevelReport> reports_;
+};
+
+}  // namespace gpapriori

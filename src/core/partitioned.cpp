@@ -1,0 +1,165 @@
+#include "core/partitioned.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baselines/apriori_util.hpp"
+#include "core/candidate_trie.hpp"
+#include "core/support_kernel.hpp"
+#include "fim/bitset_ops.hpp"
+
+namespace gpapriori {
+
+PartitionedGpApriori::PartitionedGpApriori(Config cfg,
+                                           std::size_t device_bitset_budget_bytes)
+    : cfg_(cfg), budget_bytes_(device_bitset_budget_bytes) {
+  if (!cfg_.valid_block_size())
+    throw std::invalid_argument(
+        "PartitionedGpApriori: block_size must be a power of two in [32, 512]");
+}
+
+miners::MiningOutput PartitionedGpApriori::mine(
+    const fim::TransactionDb& db, const miners::MiningParams& params) {
+  miners::MiningOutput out;
+  const fim::Support min_count = params.resolve_min_count(db.num_transactions());
+  ledger_.reset();
+
+  miners::StopWatch host;
+  miners::Preprocessed pre =
+      miners::preprocess(db, min_count, miners::ItemOrder::kAscendingFreq);
+  const std::size_t n = pre.original_item.size();
+  const std::size_t num_trans = pre.db.num_transactions();
+
+  CandidateTrie trie(n);
+  for (fim::Item x = 0; x < n; ++x)
+    out.itemsets.add(fim::Itemset{pre.original_item[x]}, pre.support[x]);
+  out.levels.push_back({1, n, n, host.elapsed_ms(), 0});
+  out.host_ms += host.elapsed_ms();
+  if (n == 0 || num_trans == 0) {
+    out.itemsets.canonicalize();
+    num_partitions_ = 0;
+    return out;
+  }
+
+  // Partition geometry: per-chunk bitset bytes = n rows x stride(chunk
+  // transactions). Choose the largest chunk length whose slice fits the
+  // budget (or everything if budget == 0 / large enough).
+  host.restart();
+  std::size_t chunk_trans = num_trans;
+  if (budget_bytes_ > 0) {
+    // stride(words) for t transactions is ceil(t/32) rounded to 16 words.
+    auto slice_bytes = [&](std::size_t t) {
+      const std::size_t words = (t + 31) / 32;
+      const std::size_t stride = (words + 15) / 16 * 16;
+      return n * stride * 4;
+    };
+    while (chunk_trans > 512 && slice_bytes(chunk_trans) > budget_bytes_)
+      chunk_trans = (chunk_trans + 1) / 2;
+    if (slice_bytes(chunk_trans) > budget_bytes_)
+      throw std::invalid_argument(
+          "PartitionedGpApriori: budget too small for even a 512-transaction "
+          "chunk");
+  }
+  num_partitions_ = (num_trans + chunk_trans - 1) / chunk_trans;
+
+  // Per-chunk bitset slices, built once on the host.
+  std::vector<fim::Item> rows(n);
+  for (fim::Item i = 0; i < n; ++i) rows[i] = i;
+  std::vector<fim::BitsetStore> slices;
+  slices.reserve(num_partitions_);
+  for (std::size_t c = 0; c < num_partitions_; ++c) {
+    const std::size_t lo = c * chunk_trans;
+    const std::size_t hi = std::min(num_trans, lo + chunk_trans);
+    fim::TransactionDb::Builder b;
+    for (std::size_t t = lo; t < hi; ++t) {
+      auto tx = pre.db.transaction(t);
+      b.add({tx.begin(), tx.end()});
+    }
+    fim::TransactionDb part = std::move(b).build();
+    slices.push_back(fim::BitsetStore::from_db(part, rows));
+  }
+  out.host_ms += host.elapsed_ms();
+
+  gpusim::DeviceOptions dopts;
+  dopts.arena_bytes = cfg_.arena_bytes;
+  dopts.strict_memory = cfg_.strict_memory;
+  dopts.executor.sample_stride = cfg_.sample_stride;
+  dopts.record_launches = false;
+  gpusim::Device device(cfg_.device, dopts);
+
+  // One resident slice buffer, sized for the largest chunk.
+  std::size_t max_slice_words = 0;
+  for (const auto& s : slices)
+    max_slice_words = std::max(max_slice_words, s.arena().size());
+  auto d_bits = device.alloc<std::uint32_t>(max_slice_words,
+                                            fim::BitsetStore::kAlignBytes);
+
+  for (std::size_t k = 2;; ++k) {
+    if (params.max_itemset_size && k > params.max_itemset_size) break;
+    host.restart();
+    const std::size_t ncand = trie.extend();
+    if (ncand == 0) break;
+    const std::vector<std::uint32_t> flat = trie.flatten_level(k);
+    double level_host = host.elapsed_ms();
+
+    const double dev_before = device.ledger().total_ns();
+    auto d_cand = device.alloc<std::uint32_t>(flat.size());
+    device.copy_to_device(d_cand, std::span<const std::uint32_t>(flat));
+    auto d_sup = device.alloc<std::uint32_t>(ncand);
+
+    std::vector<fim::Support> supports(ncand, 0);
+    std::vector<std::uint32_t> partial(ncand);
+    for (const auto& slice : slices) {
+      // Stream this chunk's bitsets through the resident buffer.
+      device.copy_to_device(d_bits, slice.arena());
+      SupportKernel::Args args;
+      args.bitsets = d_bits;
+      args.stride_words = static_cast<std::uint32_t>(slice.row_stride_words());
+      args.words_per_row = static_cast<std::uint32_t>(slice.words_per_row());
+      args.candidates = d_cand;
+      args.k = static_cast<std::uint32_t>(k);
+      args.supports = d_sup;
+      for (std::uint32_t done = 0; done < ncand;) {
+        const auto batch = std::min<std::uint32_t>(
+            65'535, static_cast<std::uint32_t>(ncand) - done);
+        args.first_candidate = done;
+        SupportKernel kernel(args, cfg_.candidate_preload, cfg_.unroll);
+        device.launch(kernel,
+                      {gpusim::Dim3{batch},
+                       gpusim::Dim3{cfg_.resolve_block_size(slice.words_per_row())}});
+        done += batch;
+      }
+      device.copy_to_host(std::span<std::uint32_t>(partial), d_sup);
+      for (std::size_t i = 0; i < ncand; ++i) supports[i] += partial[i];
+    }
+    device.free(d_cand);
+    device.free(d_sup);
+    const double level_device =
+        (device.ledger().total_ns() - dev_before) / 1e6;
+
+    host.restart();
+    trie.mark_frequent(k, supports, min_count);
+    std::vector<fim::Support> kept;
+    for (fim::Support s : supports)
+      if (s >= min_count) kept.push_back(s);
+    for (std::size_t i = 0; i < trie.level_size(k); ++i) {
+      const auto r = trie.candidate_items(k, i);
+      std::vector<fim::Item> items;
+      for (fim::Item x : r) items.push_back(pre.original_item[x]);
+      out.itemsets.add(fim::Itemset(std::move(items)), kept[i]);
+    }
+    level_host += host.elapsed_ms();
+
+    out.levels.push_back(
+        {k, ncand, trie.level_size(k), level_host, level_device});
+    out.host_ms += level_host;
+    if (trie.level_size(k) == 0) break;
+  }
+
+  ledger_ = device.ledger();
+  out.device_ms = ledger_.total_ns() / 1e6;
+  out.itemsets.canonicalize();
+  return out;
+}
+
+}  // namespace gpapriori

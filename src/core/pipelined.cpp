@@ -1,0 +1,156 @@
+#include "core/pipelined.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baselines/apriori_util.hpp"
+#include "core/candidate_trie.hpp"
+#include "core/support_kernel.hpp"
+#include "fim/bitset_ops.hpp"
+
+namespace gpapriori {
+
+PipelinedGpApriori::PipelinedGpApriori(Config cfg,
+                                       std::uint32_t chunks_per_level)
+    : cfg_(cfg), chunks_(chunks_per_level) {
+  if (!cfg_.valid_block_size())
+    throw std::invalid_argument(
+        "PipelinedGpApriori: block_size must be a power of two in [32, 512]");
+  if (chunks_ == 0 || chunks_ > 64)
+    throw std::invalid_argument("PipelinedGpApriori: 1..64 chunks per level");
+}
+
+miners::MiningOutput PipelinedGpApriori::mine(
+    const fim::TransactionDb& db, const miners::MiningParams& params) {
+  miners::MiningOutput out;
+  const fim::Support min_count = params.resolve_min_count(db.num_transactions());
+  ledger_.reset();
+
+  miners::StopWatch host;
+  miners::Preprocessed pre =
+      miners::preprocess(db, min_count, miners::ItemOrder::kAscendingFreq);
+  const std::size_t n = pre.original_item.size();
+  std::vector<fim::Item> rows(n);
+  for (fim::Item i = 0; i < n; ++i) rows[i] = i;
+  const fim::BitsetStore store = fim::BitsetStore::from_db(pre.db, rows);
+
+  CandidateTrie trie(n);
+  for (fim::Item x = 0; x < n; ++x)
+    out.itemsets.add(fim::Itemset{pre.original_item[x]}, pre.support[x]);
+  out.levels.push_back({1, n, n, host.elapsed_ms(), 0});
+  out.host_ms += host.elapsed_ms();
+  if (n == 0) {
+    out.itemsets.canonicalize();
+    return out;
+  }
+
+  gpusim::DeviceOptions dopts;
+  dopts.arena_bytes = cfg_.arena_bytes;
+  dopts.strict_memory = cfg_.strict_memory;
+  dopts.executor.sample_stride = cfg_.sample_stride;
+  dopts.record_launches = false;
+  gpusim::Device device(cfg_.device, dopts);
+  auto d_bitsets = device.alloc<std::uint32_t>(store.arena().size(),
+                                               fim::BitsetStore::kAlignBytes);
+  device.copy_to_device(d_bitsets, store.arena());
+
+  for (std::size_t k = 2;; ++k) {
+    if (params.max_itemset_size && k > params.max_itemset_size) break;
+    host.restart();
+    const std::size_t ncand = trie.extend();
+    if (ncand == 0) break;
+    const std::vector<std::uint32_t> flat = trie.flatten_level(k);
+    double level_host = host.elapsed_ms();
+
+    const double dev_before = device.ledger().total_ns();
+    // Double-buffered chunk pipeline: chunk c on stream c % 2. All the
+    // device buffers live for the whole level; the pipeline only reorders
+    // WHEN transfers/kernels run, not what they touch.
+    const std::size_t chunk_cands =
+        (ncand + chunks_ - 1) / chunks_;
+    auto d_cand = device.alloc<std::uint32_t>(flat.size());
+    auto d_sup = device.alloc<std::uint32_t>(ncand);
+    std::vector<std::uint32_t> supports(ncand);
+
+    SupportKernel::Args args;
+    args.bitsets = d_bitsets;
+    args.stride_words = static_cast<std::uint32_t>(store.row_stride_words());
+    args.words_per_row = static_cast<std::uint32_t>(store.words_per_row());
+    args.candidates = d_cand;
+    args.k = static_cast<std::uint32_t>(k);
+    args.supports = d_sup;
+
+    // Chunk geometry. Issue order matters on the single DMA engine: chunk
+    // c+1's UPLOAD must be issued before chunk c's kernel/download or it
+    // queues behind that download and the overlap is lost (the classic
+    // CUDA 2.x pipeline pitfall — see Timeline tests).
+    const std::size_t num_chunks = (ncand + chunk_cands - 1) / chunk_cands;
+    auto chunk_bounds = [&](std::size_t c) {
+      const std::size_t lo = c * chunk_cands;
+      return std::pair{lo, std::min(ncand, lo + chunk_cands)};
+    };
+    auto stream_of = [](std::size_t c) {
+      return static_cast<gpusim::StreamId>(c % 2);
+    };
+    auto upload_chunk = [&](std::size_t c) {
+      const auto [lo, hi] = chunk_bounds(c);
+      device.copy_to_device_async(
+          d_cand + lo * k,
+          std::span<const std::uint32_t>(flat).subspan(lo * k,
+                                                       (hi - lo) * k),
+          stream_of(c));
+    };
+
+    upload_chunk(0);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      if (c + 1 < num_chunks) upload_chunk(c + 1);
+      const auto [lo, hi] = chunk_bounds(c);
+      const std::size_t slice = hi - lo;
+      for (std::uint32_t done = 0; done < slice;) {
+        const auto batch = std::min<std::uint32_t>(
+            65'535, static_cast<std::uint32_t>(slice) - done);
+        args.first_candidate = static_cast<std::uint32_t>(lo) + done;
+        SupportKernel kernel(args, cfg_.candidate_preload, cfg_.unroll);
+        device.launch_async(
+            kernel,
+            {gpusim::Dim3{batch},
+             gpusim::Dim3{cfg_.resolve_block_size(store.words_per_row())}},
+            stream_of(c));
+        done += batch;
+      }
+      device.copy_to_host_async(
+          std::span<std::uint32_t>(supports).subspan(lo, slice),
+          d_sup + lo, stream_of(c));
+    }
+    device.synchronize();
+    device.free(d_cand);
+    device.free(d_sup);
+    const double level_device =
+        (device.ledger().total_ns() - dev_before) / 1e6;
+
+    host.restart();
+    trie.mark_frequent(k, supports, min_count);
+    std::vector<fim::Support> kept;
+    for (std::uint32_t s : supports)
+      if (s >= min_count) kept.push_back(s);
+    for (std::size_t i = 0; i < trie.level_size(k); ++i) {
+      const auto r = trie.candidate_items(k, i);
+      std::vector<fim::Item> items;
+      for (fim::Item x : r) items.push_back(pre.original_item[x]);
+      out.itemsets.add(fim::Itemset(std::move(items)), kept[i]);
+    }
+    level_host += host.elapsed_ms();
+
+    out.levels.push_back(
+        {k, ncand, trie.level_size(k), level_host, level_device});
+    out.host_ms += level_host;
+    if (trie.level_size(k) == 0) break;
+  }
+
+  ledger_ = device.ledger();
+  out.device_ms = ledger_.total_ns() / 1e6;
+  out.itemsets.canonicalize();
+  return out;
+}
+
+}  // namespace gpapriori

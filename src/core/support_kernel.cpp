@@ -1,0 +1,88 @@
+#include "core/support_kernel.hpp"
+
+#include <bit>
+
+namespace gpapriori {
+
+std::uint32_t SupportKernel::phase_count(std::uint32_t block_size) {
+  const auto log2b =
+      static_cast<std::uint32_t>(std::countr_zero(block_size));
+  return 1 /*preload*/ + 1 /*accumulate*/ + log2b /*reduction*/ + 1 /*write*/;
+}
+
+gpusim::KernelInfo SupportKernel::info(const gpusim::LaunchConfig& cfg) const {
+  gpusim::KernelInfo i;
+  i.num_phases = phase_count(cfg.block.x);
+  // Shared layout: blockDim partial sums, then the preloaded candidate.
+  i.static_shared_bytes =
+      (static_cast<std::size_t>(cfg.block.x) + (preload_ ? args_.k : 0)) * 4;
+  i.regs_per_thread = 14;
+  return i;
+}
+
+void SupportKernel::run_phase(std::uint32_t phase,
+                              gpusim::ThreadCtx& t) const {
+  const std::uint32_t tid = t.flat_tid();
+  const std::uint32_t block = t.block_dim().x;
+  const std::uint64_t cand =
+      args_.first_candidate + t.flat_block_idx();
+  const auto log2b = static_cast<std::uint32_t>(std::countr_zero(block));
+
+  if (phase == 0) {
+    // Candidate preload (threads 0..k-1). Without the optimization this
+    // phase idles and phase 1 re-reads the candidate from global memory.
+    if (preload_ && tid < args_.k) {
+      const std::uint32_t row =
+          t.ld_global(args_.candidates, cand * args_.k + tid);
+      t.st_shared<std::uint32_t>(shared_cand_off(block, tid), row);
+    }
+    return;
+  }
+
+  if (phase == 1) {
+    // Complete intersection: stride-blockDim loop over 32-bit words.
+    std::uint32_t count = 0;
+    std::uint32_t iter = 0;
+    for (std::uint64_t w = tid; w < args_.words_per_row; w += block, ++iter) {
+      std::uint32_t acc = ~0u;
+      for (std::uint32_t r = 0; r < args_.k; ++r) {
+        const std::uint32_t row =
+            preload_
+                ? t.ld_shared<std::uint32_t>(shared_cand_off(block, r))
+                : t.ld_global(args_.candidates, cand * args_.k + r);
+        acc &= t.ld_global(args_.bitsets,
+                           static_cast<std::uint64_t>(row) *
+                                   args_.stride_words + w);
+        t.alu(1);  // the AND
+      }
+      count += t.popc(acc);
+      t.alu(1);  // accumulate add
+      // Loop control: with manual unrolling the index/branch overhead is
+      // paid once per `unroll` iterations instead of every iteration.
+      if (unroll_ <= 1 || iter % unroll_ == 0) t.alu(2);
+    }
+    t.st_shared<std::uint32_t>(shared_partial_off(tid), count);
+    return;
+  }
+
+  const std::uint32_t last_phase = 2 + log2b;
+  if (phase < last_phase) {
+    // Reduction step: phase 2 halves blockDim, phase 3 halves again, ...
+    const std::uint32_t stride = block >> (phase - 1);
+    if (tid < stride) {
+      const auto a = t.ld_shared<std::uint32_t>(shared_partial_off(tid));
+      const auto b =
+          t.ld_shared<std::uint32_t>(shared_partial_off(tid + stride));
+      t.alu(1);
+      t.st_shared<std::uint32_t>(shared_partial_off(tid), a + b);
+    }
+    return;
+  }
+
+  if (tid == 0) {
+    const auto total = t.ld_shared<std::uint32_t>(shared_partial_off(0));
+    t.st_global(args_.supports, cand, total);
+  }
+}
+
+}  // namespace gpapriori

@@ -1,0 +1,7 @@
+#pragma once
+// Umbrella header for synthetic dataset generation: the IBM Quest process
+// and shape-matched profiles for the paper's four benchmark datasets.
+
+#include "datagen/profiles.hpp"
+#include "datagen/quest.hpp"
+#include "datagen/rng.hpp"

@@ -1,0 +1,176 @@
+#include "datagen/profiles.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "datagen/quest.hpp"
+#include "datagen/rng.hpp"
+
+namespace datagen {
+
+fim::TransactionDb generate_attribute_value(
+    const AttributeValueParams& params) {
+  if (params.columns.empty())
+    throw std::invalid_argument("generate_attribute_value: no columns");
+  // Column c's values occupy item ids [offset[c], offset[c] + domain).
+  std::vector<fim::Item> offset(params.columns.size());
+  fim::Item next = 0;
+  for (std::size_t c = 0; c < params.columns.size(); ++c) {
+    if (params.columns[c].domain == 0)
+      throw std::invalid_argument("generate_attribute_value: empty domain");
+    offset[c] = next;
+    next += static_cast<fim::Item>(params.columns[c].domain);
+  }
+
+  Rng rng(params.seed);
+  fim::TransactionDb::Builder builder;
+  std::vector<fim::Item> tx(params.columns.size());
+  for (std::size_t t = 0; t < params.num_transactions; ++t) {
+    const bool modal = params.mode_prob > 0 && rng.uniform() < params.mode_prob;
+    for (std::size_t c = 0; c < params.columns.size(); ++c) {
+      const auto& col = params.columns[c];
+      std::uint64_t v = 0;
+      if (col.domain > 1) {
+        if (modal && rng.uniform() < params.mode_boost)
+          v = 0;  // the column's dominant value
+        else
+          v = rng.skewed_below(col.domain, col.skew);
+      }
+      tx[c] = offset[c] + static_cast<fim::Item>(v);
+    }
+    builder.add(tx);
+  }
+  return std::move(builder).build();
+}
+
+fim::TransactionDb generate_accidents(const AccidentsParams& params) {
+  Rng rng(params.seed);
+  fim::TransactionDb::Builder builder;
+  std::vector<fim::Item> tx;
+  const std::size_t core = params.num_core_items;
+  for (std::size_t t = 0; t < params.num_transactions; ++t) {
+    tx.clear();
+    // Core circumstance items: independently present, probability falling
+    // linearly from hi to lo across the core.
+    for (std::size_t i = 0; i < core; ++i) {
+      const double p =
+          params.core_prob_hi -
+          (params.core_prob_hi - params.core_prob_lo) *
+              (core > 1 ? static_cast<double>(i) / static_cast<double>(core - 1)
+                        : 0.0);
+      if (rng.uniform() < p) tx.push_back(static_cast<fim::Item>(i));
+    }
+    // Long tail, geometric skew over the remaining ids.
+    const std::uint64_t tail_len = rng.poisson(params.avg_tail_len);
+    for (std::uint64_t i = 0; i < tail_len; ++i) {
+      const auto v = rng.skewed_below(params.num_tail_items, params.tail_skew);
+      tx.push_back(static_cast<fim::Item>(core + v));
+    }
+    builder.add(tx);
+  }
+  return std::move(builder).build();
+}
+
+namespace {
+
+// chess (UCI King-Rook vs King-Pawn): 36 attributes, 35 binary + one
+// 3-valued, plus an outcome attribute -> 37 items per transaction and 75
+// distinct values, matching Table 2 exactly.
+AttributeValueParams chess_params(std::size_t num_transactions,
+                                  std::uint64_t seed) {
+  AttributeValueParams p;
+  p.num_transactions = num_transactions;
+  p.seed = seed;
+  for (std::size_t c = 0; c < 35; ++c) {
+    // Deterministically varied skew in [0.52, 0.97): many near-constant
+    // binary attributes — the source of chess's density.
+    const double skew = 0.52 + 0.45 * static_cast<double>((c * 37) % 100) / 100.0;
+    p.columns.push_back({2, skew});
+  }
+  p.columns.push_back({3, 0.65});
+  p.columns.push_back({2, 0.55});  // outcome: won/nowin, mildly skewed
+  // Endgame positions cluster: a large family of near-identical boards.
+  p.mode_prob = 0.45;
+  p.mode_boost = 0.97;
+  return p;  // 35*2 + 3 + 2 = 75 items, 37 columns
+}
+
+// pumsb (PUMS census): 74 attributes, 2113 values total. Domains follow a
+// deterministic spread from binary flags to ~100-value codes; the final
+// column absorbs the remainder so the total is exactly 2113.
+AttributeValueParams pumsb_params(std::size_t num_transactions,
+                                  std::uint64_t seed) {
+  AttributeValueParams p;
+  p.num_transactions = num_transactions;
+  p.seed = seed;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < 73; ++c) {
+    const std::size_t domain = 2 + (c * c * 7) % 55;
+    const double skew = 0.45 + 0.52 * static_cast<double>((c * 13) % 100) / 100.0;
+    p.columns.push_back({domain, skew});
+    total += domain;
+  }
+  if (total >= 2113)
+    throw std::logic_error("pumsb profile domains overflow 2113");
+  p.columns.push_back({2113 - total, 0.45});
+  // Census rows repeat heavily (household members, default codes).
+  p.mode_prob = 0.55;
+  p.mode_boost = 0.985;
+  return p;
+}
+
+std::vector<DatasetProfile> make_profiles() {
+  std::vector<DatasetProfile> v;
+  v.push_back({DatasetId::kT40I10D100K, "T40I10D100K", 942, 40, 92'113,
+               "Synthetic",
+               {0.03, 0.02, 0.015, 0.01, 0.0075}});
+  v.push_back({DatasetId::kPumsb, "pumsb", 2113, 74, 49'046, "Real",
+               {0.92, 0.90, 0.875, 0.85, 0.80}});
+  v.push_back({DatasetId::kChess, "chess", 75, 37, 3196, "Real",
+               {0.95, 0.90, 0.85, 0.80, 0.75}});
+  v.push_back({DatasetId::kAccidents, "accidents", 468, 34, 340'183, "Real",
+               {0.90, 0.80, 0.70, 0.60, 0.50}});
+  return v;
+}
+
+}  // namespace
+
+const std::vector<DatasetProfile>& all_profiles() {
+  static const std::vector<DatasetProfile> profiles = make_profiles();
+  return profiles;
+}
+
+const DatasetProfile& profile(DatasetId id) {
+  for (const auto& p : all_profiles())
+    if (p.id == id) return p;
+  throw std::logic_error("unknown dataset profile");
+}
+
+fim::TransactionDb DatasetProfile::generate(double scale,
+                                            std::uint64_t seed_offset) const {
+  if (scale <= 0 || scale > 1.0)
+    throw std::invalid_argument("DatasetProfile::generate: scale in (0,1]");
+  const auto n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(paper_trans) * scale));
+  switch (id) {
+    case DatasetId::kT40I10D100K: {
+      QuestParams q = QuestParams::t40i10d100k();
+      q.num_transactions = n;
+      q.seed += seed_offset;
+      return generate_quest(q);
+    }
+    case DatasetId::kChess:
+      return generate_attribute_value(chess_params(n, 7001 + seed_offset));
+    case DatasetId::kPumsb:
+      return generate_attribute_value(pumsb_params(n, 7401 + seed_offset));
+    case DatasetId::kAccidents: {
+      AccidentsParams a;
+      a.num_transactions = n;
+      a.seed = 4683 + seed_offset;
+      return generate_accidents(a);
+    }
+  }
+  throw std::logic_error("unknown dataset profile");
+}
+
+}  // namespace datagen

@@ -1,0 +1,114 @@
+#include "datagen/quest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "datagen/rng.hpp"
+
+namespace datagen {
+
+WeightedPicker::WeightedPicker(std::span<const double> weights) {
+  cumulative_.reserve(weights.size());
+  double acc = 0;
+  for (double w : weights) {
+    acc += w;
+    cumulative_.push_back(acc);
+  }
+  if (cumulative_.empty() || acc <= 0)
+    throw std::invalid_argument("WeightedPicker: no positive weights");
+  for (double& c : cumulative_) c /= acc;
+}
+
+std::size_t WeightedPicker::pick(Rng& rng) const {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+QuestParams QuestParams::t40i10d100k() {
+  QuestParams p;
+  p.num_transactions = 100'000;
+  p.avg_transaction_len = 40;
+  p.avg_pattern_len = 10;
+  p.num_patterns = 2000;
+  p.num_items = 1000;
+  p.seed = 40'10'100;  // fixed so the dataset is reproducible
+  return p;
+}
+
+fim::TransactionDb generate_quest(const QuestParams& params) {
+  if (params.num_items == 0 || params.num_patterns == 0)
+    throw std::invalid_argument("generate_quest: empty item/pattern space");
+  Rng rng(params.seed);
+
+  // --- Step 1: maximal potentially frequent itemsets ("patterns"). ---
+  // Sizes are Poisson(I); items are drawn partly from the previous pattern
+  // (fraction ~ exponential with mean `correlation`) to model the fact that
+  // frequent itemsets overlap, and the remainder uniformly at random.
+  std::vector<std::vector<fim::Item>> patterns(params.num_patterns);
+  std::vector<double> weights(params.num_patterns);
+  std::vector<double> corruption(params.num_patterns);
+
+  for (std::size_t p = 0; p < params.num_patterns; ++p) {
+    std::size_t len = std::max<std::uint64_t>(1, rng.poisson(params.avg_pattern_len));
+    len = std::min(len, params.num_items);
+    auto& pat = patterns[p];
+
+    if (p > 0 && !patterns[p - 1].empty()) {
+      const double frac =
+          std::min(1.0, rng.exponential(params.correlation));
+      auto reuse = static_cast<std::size_t>(
+          frac * static_cast<double>(std::min(len, patterns[p - 1].size())));
+      // Take `reuse` random items from the predecessor.
+      std::vector<fim::Item> prev = patterns[p - 1];
+      for (std::size_t i = 0; i < reuse && !prev.empty(); ++i) {
+        const std::size_t j = rng.below(prev.size());
+        pat.push_back(prev[j]);
+        prev.erase(prev.begin() + static_cast<std::ptrdiff_t>(j));
+      }
+    }
+    while (pat.size() < len) {
+      const auto x = static_cast<fim::Item>(rng.below(params.num_items));
+      if (std::find(pat.begin(), pat.end(), x) == pat.end()) pat.push_back(x);
+    }
+    std::sort(pat.begin(), pat.end());
+
+    weights[p] = rng.exponential(1.0);
+    corruption[p] =
+        std::clamp(rng.normal(params.corruption_mean, params.corruption_sd),
+                   0.0, 1.0);
+  }
+  const WeightedPicker picker(weights);
+
+  // --- Step 2: transactions. ---
+  fim::TransactionDb::Builder builder;
+  std::vector<fim::Item> tx;
+  for (std::size_t t = 0; t < params.num_transactions; ++t) {
+    const std::size_t target_len =
+        std::max<std::uint64_t>(1, rng.poisson(params.avg_transaction_len));
+    tx.clear();
+    while (tx.size() < target_len) {
+      const std::size_t p = picker.pick(rng);
+      // Corrupt the pattern: drop items while a coin keeps coming up.
+      std::vector<fim::Item> chosen = patterns[p];
+      while (chosen.size() > 1 && rng.uniform() < corruption[p])
+        chosen.erase(chosen.begin() +
+                     static_cast<std::ptrdiff_t>(rng.below(chosen.size())));
+      const bool fits = tx.size() + chosen.size() <= target_len;
+      // Oversized patterns are still added half the time (per the paper),
+      // which keeps long patterns represented in short transactions; the
+      // other half moves on — but never leaves a transaction empty.
+      if (!fits && rng.uniform() < 0.5) {
+        if (tx.empty()) continue;
+        break;
+      }
+      tx.insert(tx.end(), chosen.begin(), chosen.end());
+      if (!fits) break;
+    }
+    builder.add(tx);  // Builder sorts + dedups
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace datagen

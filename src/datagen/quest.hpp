@@ -1,0 +1,37 @@
+#pragma once
+// IBM Quest synthetic transaction generator.
+//
+// Reimplements the generator of Agrawal & Srikant, "Fast Algorithms for
+// Mining Association Rules" (VLDB'94, §2.4.3) — the program that produced
+// the paper's T40I10D100K dataset (T = avg transaction length 40,
+// I = avg maximal-potentially-frequent-itemset length 10, D = 100K
+// transactions). The FIMI file itself is not redistributable here, so we
+// regenerate from the published process; see DESIGN.md §2.
+
+#include <cstdint>
+
+#include "fim/transaction_db.hpp"
+
+namespace datagen {
+
+struct QuestParams {
+  std::size_t num_transactions = 100'000;   ///< D
+  double avg_transaction_len = 10;          ///< T
+  double avg_pattern_len = 4;               ///< I
+  std::size_t num_patterns = 2000;          ///< |L|, paper default
+  std::size_t num_items = 1000;             ///< N
+  double correlation = 0.5;                 ///< mean fraction of a pattern
+                                            ///< reused from its predecessor
+  double corruption_mean = 0.5;             ///< per-pattern corruption level
+  double corruption_sd = 0.1;
+  std::uint64_t seed = 1;
+
+  /// The exact parameterization behind T40I10D100K (942 distinct items in
+  /// the published file come from N=1000 minus never-drawn items).
+  static QuestParams t40i10d100k();
+};
+
+/// Runs the Quest process and returns a horizontal database.
+[[nodiscard]] fim::TransactionDb generate_quest(const QuestParams& params);
+
+}  // namespace datagen

@@ -1,0 +1,85 @@
+#pragma once
+// Deterministic random source for dataset generation.
+//
+// Thin wrapper over mt19937_64 exposing exactly the distributions the
+// generators need. All generators take explicit seeds; a given
+// (profile, seed, scale) triple always produces the identical database on
+// every platform (distributions implemented here, not via the
+// implementation-defined std::*_distribution).
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace datagen {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : eng_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(eng_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    // Rejection-free modulo bias is negligible for our n << 2^64, but do it
+    // right anyway: retry over the largest multiple of n.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+    std::uint64_t v;
+    do {
+      v = eng_();
+    } while (v >= limit);
+    return v % n;
+  }
+
+  /// Knuth's product method is fine for the small means used here (<100).
+  std::uint64_t poisson(double mean) {
+    const double l = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > l);
+    return k - 1;
+  }
+
+  double exponential(double mean) { return -mean * std::log(1.0 - uniform()); }
+
+  double normal(double mean, double sd) {
+    // Box-Muller; one value per call keeps the stream simple.
+    const double u1 = 1.0 - uniform(), u2 = uniform();
+    return mean + sd * std::sqrt(-2.0 * std::log(u1)) *
+                      std::cos(2.0 * 3.141592653589793 * u2);
+  }
+
+  /// Geometric-ish skewed pick in [0, n): value v with prob ~ (1-p)^v.
+  std::uint64_t skewed_below(std::uint64_t n, double p) {
+    // Inverse-CDF of the truncated geometric distribution.
+    const double q = 1.0 - p;
+    const double total = 1.0 - std::pow(q, static_cast<double>(n));
+    const double u = uniform() * total;
+    const double v = std::log(1.0 - u) / std::log(q);
+    auto k = static_cast<std::uint64_t>(v);
+    return k >= n ? n - 1 : k;
+  }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+/// Cumulative-weight sampler for pattern selection in the Quest generator.
+class WeightedPicker {
+ public:
+  explicit WeightedPicker(std::span<const double> weights);
+  [[nodiscard]] std::size_t pick(Rng& rng) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace datagen

@@ -1,0 +1,108 @@
+#include "fim/bitset_ops.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace fim {
+
+BitsetStore::BitsetStore(std::size_t rows, std::size_t num_bits)
+    : rows_(rows), num_bits_(num_bits) {
+  words_per_row_ = (num_bits + kBitsPerWord - 1) / kBitsPerWord;
+  stride_ = (words_per_row_ + kWordsPerAlign - 1) / kWordsPerAlign *
+            kWordsPerAlign;
+  if (stride_ == 0) stride_ = kWordsPerAlign;  // keep rows addressable
+  words_.assign(rows_ * stride_, 0);
+}
+
+BitsetStore BitsetStore::from_db(const TransactionDb& db,
+                                 std::span<const Item> row_items) {
+  BitsetStore bs(row_items.size(), db.num_transactions());
+  // Invert: item -> row (only for items we keep).
+  std::vector<std::int64_t> row_of(db.item_universe(), -1);
+  for (std::size_t r = 0; r < row_items.size(); ++r) {
+    if (row_items[r] >= db.item_universe())
+      throw std::out_of_range("BitsetStore::from_db: item outside universe");
+    row_of[row_items[r]] = static_cast<std::int64_t>(r);
+  }
+  // Hot path: this builds the whole vertical database (hundreds of
+  // millions of bits at full scale), so write words directly instead of
+  // going through the bounds-checked set_bit.
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    const std::size_t word = t / kBitsPerWord;
+    const Word mask = Word{1} << (t % kBitsPerWord);
+    for (Item x : db.transaction(t)) {
+      const std::int64_t r = row_of[x];
+      if (r >= 0)
+        bs.words_[static_cast<std::size_t>(r) * bs.stride_ + word] |= mask;
+    }
+  }
+  return bs;
+}
+
+BitsetStore BitsetStore::from_tidsets(
+    const std::vector<std::vector<Tid>>& tidsets, std::size_t num_bits) {
+  BitsetStore bs(tidsets.size(), num_bits);
+  for (std::size_t r = 0; r < tidsets.size(); ++r)
+    for (Tid t : tidsets[r]) bs.set_bit(r, t);
+  return bs;
+}
+
+void BitsetStore::set_bit(std::size_t row, Tid t) {
+  if (row >= rows_ || t >= num_bits_)
+    throw std::out_of_range("BitsetStore::set_bit out of range");
+  words_[row * stride_ + t / kBitsPerWord] |= Word{1} << (t % kBitsPerWord);
+}
+
+bool BitsetStore::test(std::size_t row, Tid t) const {
+  if (row >= rows_ || t >= num_bits_)
+    throw std::out_of_range("BitsetStore::test out of range");
+  return (words_[row * stride_ + t / kBitsPerWord] >> (t % kBitsPerWord)) & 1u;
+}
+
+Support BitsetStore::popcount_row(std::size_t r) const {
+  Support n = 0;
+  for (std::size_t w = 0; w < words_per_row_; ++w)
+    n += static_cast<Support>(std::popcount(words_[r * stride_ + w]));
+  return n;
+}
+
+Support BitsetStore::and_popcount(
+    std::span<const std::uint32_t> row_ids) const {
+  if (row_ids.empty()) return static_cast<Support>(num_bits_);
+  Support n = 0;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    Word acc = words_[row_ids[0] * stride_ + w];
+    for (std::size_t k = 1; k < row_ids.size() && acc; ++k)
+      acc &= words_[row_ids[k] * stride_ + w];
+    n += static_cast<Support>(std::popcount(acc));
+  }
+  return n;
+}
+
+void BitsetStore::and_rows(std::span<const std::uint32_t> row_ids,
+                           std::span<Word> out) const {
+  if (out.size() < words_per_row_)
+    throw std::out_of_range("BitsetStore::and_rows: output too small");
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    Word acc = row_ids.empty() ? ~Word{0} : words_[row_ids[0] * stride_ + w];
+    for (std::size_t k = 1; k < row_ids.size(); ++k)
+      acc &= words_[row_ids[k] * stride_ + w];
+    out[w] = acc;
+  }
+}
+
+std::vector<Tid> BitsetStore::row_tidset(std::size_t r) const {
+  std::vector<Tid> out;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    Word v = words_[r * stride_ + w];
+    while (v) {
+      const int b = std::countr_zero(v);
+      out.push_back(static_cast<Tid>(w * kBitsPerWord +
+                                     static_cast<std::size_t>(b)));
+      v &= v - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace fim

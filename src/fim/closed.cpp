@@ -1,0 +1,76 @@
+#include "fim/closed.hpp"
+
+#include <unordered_map>
+
+namespace fim {
+namespace {
+
+enum Flag : std::uint8_t { kHasSuperset = 1, kHasEqualSupportSuperset = 2 };
+
+/// For every itemset, folds in what its (size+1)-supersets imply: any
+/// frequent superset kills maximality; an equal-support superset kills
+/// closedness. One pass over all (itemset, dropped-item) pairs suffices
+/// because support is anti-monotone: if ANY proper superset has equal
+/// support, some one-item extension does too.
+std::unordered_map<Itemset, std::uint8_t, ItemsetHash> superset_flags(
+    const ItemsetCollection& all) {
+  std::unordered_map<Itemset, Support, ItemsetHash> support;
+  support.reserve(all.size());
+  for (const auto& fs : all) support.emplace(fs.items, fs.support);
+
+  std::unordered_map<Itemset, std::uint8_t, ItemsetHash> flags;
+  flags.reserve(all.size());
+  for (const auto& fs : all) {
+    if (fs.items.size() < 2) continue;
+    for (std::size_t d = 0; d < fs.items.size(); ++d) {
+      const Itemset sub = fs.items.without_index(d);
+      auto it = support.find(sub);
+      if (it == support.end()) continue;  // size-0 or non-emitted subset
+      auto& f = flags[sub];
+      f |= kHasSuperset;
+      if (it->second == fs.support) f |= kHasEqualSupportSuperset;
+    }
+  }
+  return flags;
+}
+
+}  // namespace
+
+ItemsetCollection filter_closed(const ItemsetCollection& all) {
+  const auto flags = superset_flags(all);
+  ItemsetCollection out;
+  for (const auto& fs : all) {
+    auto it = flags.find(fs.items);
+    if (it == flags.end() || !(it->second & kHasEqualSupportSuperset))
+      out.add(fs.items, fs.support);
+  }
+  out.canonicalize();
+  return out;
+}
+
+ItemsetCollection filter_maximal(const ItemsetCollection& all) {
+  const auto flags = superset_flags(all);
+  ItemsetCollection out;
+  for (const auto& fs : all) {
+    auto it = flags.find(fs.items);
+    if (it == flags.end() || !(it->second & kHasSuperset))
+      out.add(fs.items, fs.support);
+  }
+  out.canonicalize();
+  return out;
+}
+
+CondensationStats condensation_stats(const ItemsetCollection& all) {
+  const auto flags = superset_flags(all);
+  CondensationStats s;
+  s.all = all.size();
+  for (const auto& fs : all) {
+    auto it = flags.find(fs.items);
+    const std::uint8_t f = it == flags.end() ? 0 : it->second;
+    if (!(f & kHasEqualSupportSuperset)) ++s.closed;
+    if (!(f & kHasSuperset)) ++s.maximal;
+  }
+  return s;
+}
+
+}  // namespace fim

@@ -1,0 +1,33 @@
+#pragma once
+// Condensed representations: closed and maximal frequent itemsets.
+//
+// Standard post-processing on a complete frequent-itemset collection
+// (Pasquier et al. closed sets; Bayardo max-patterns). A frequent itemset
+// is CLOSED iff no proper superset has the same support, and MAXIMAL iff no
+// proper superset is frequent at all. Apriori-family miners (everything in
+// this library) emit the full collection, so these filters recover the
+// condensed forms the wider FIM literature reports — useful both as a
+// library feature and for sanity-checking dataset density.
+
+#include "fim/result.hpp"
+
+namespace fim {
+
+/// Keeps only closed itemsets. Input must be a complete, downward-closed
+/// collection (as produced by the miners); output is canonicalized.
+[[nodiscard]] ItemsetCollection filter_closed(const ItemsetCollection& all);
+
+/// Keeps only maximal itemsets; output is canonicalized.
+[[nodiscard]] ItemsetCollection filter_maximal(const ItemsetCollection& all);
+
+/// Count report used by dataset-density diagnostics: |all| >= |closed| >=
+/// |maximal| always; near-equality of all and closed indicates weakly
+/// correlated data, large gaps indicate dense/correlated data.
+struct CondensationStats {
+  std::size_t all = 0;
+  std::size_t closed = 0;
+  std::size_t maximal = 0;
+};
+[[nodiscard]] CondensationStats condensation_stats(const ItemsetCollection& all);
+
+}  // namespace fim

@@ -1,0 +1,44 @@
+#include "fim/dataset_stats.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace fim {
+
+DatasetStats compute_stats(const TransactionDb& db) {
+  DatasetStats s;
+  s.num_transactions = db.num_transactions();
+  const auto freq = db.item_frequencies();
+  for (Support f : freq)
+    if (f > 0) s.distinct_items += 1;
+
+  s.min_transaction_length = db.num_transactions() ? SIZE_MAX : 0;
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    const std::size_t len = db.transaction(t).size();
+    s.max_transaction_length = std::max(s.max_transaction_length, len);
+    s.min_transaction_length = std::min(s.min_transaction_length, len);
+  }
+  if (db.num_transactions()) {
+    s.avg_transaction_length = static_cast<double>(db.total_items()) /
+                               static_cast<double>(db.num_transactions());
+    const Support top = freq.empty() ? 0 : *std::max_element(freq.begin(), freq.end());
+    s.top_item_frequency =
+        static_cast<double>(top) / static_cast<double>(db.num_transactions());
+  }
+  if (s.distinct_items)
+    s.density = s.avg_transaction_length / static_cast<double>(s.distinct_items);
+  return s;
+}
+
+std::string DatasetStats::table_row(const std::string& name) const {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << name << std::right << std::setw(8)
+     << distinct_items << std::setw(12) << std::fixed << std::setprecision(1)
+     << avg_transaction_length << std::setw(10) << num_transactions
+     << std::setw(10) << std::setprecision(3) << density << std::setw(10)
+     << std::setprecision(2) << top_item_frequency;
+  return os.str();
+}
+
+}  // namespace fim

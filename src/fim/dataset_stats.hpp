@@ -1,0 +1,29 @@
+#pragma once
+// Dataset shape statistics — the quantities of the paper's Table 2
+// (#Item, Avg.length, #Trans) plus density measures used to validate the
+// synthetic dataset profiles against the published numbers.
+
+#include <cstdint>
+#include <string>
+
+#include "fim/transaction_db.hpp"
+
+namespace fim {
+
+struct DatasetStats {
+  std::size_t num_transactions = 0;
+  std::size_t distinct_items = 0;  ///< items that actually occur
+  double avg_transaction_length = 0;
+  std::size_t max_transaction_length = 0;
+  std::size_t min_transaction_length = 0;
+  /// avg length / distinct items — the classic FIM density measure.
+  double density = 0;
+  /// Fraction of transactions containing the single most frequent item.
+  double top_item_frequency = 0;
+
+  [[nodiscard]] std::string table_row(const std::string& name) const;
+};
+
+[[nodiscard]] DatasetStats compute_stats(const TransactionDb& db);
+
+}  // namespace fim

@@ -1,0 +1,14 @@
+#pragma once
+// Umbrella header for the FIM substrate: transaction databases, vertical
+// layouts (tidset + static bitset), FIMI I/O, canonical results, dataset
+// statistics, and association-rule generation.
+
+#include "fim/bitset_ops.hpp"
+#include "fim/closed.hpp"
+#include "fim/dataset_stats.hpp"
+#include "fim/fimi_io.hpp"
+#include "fim/itemset.hpp"
+#include "fim/result.hpp"
+#include "fim/rules.hpp"
+#include "fim/transaction_db.hpp"
+#include "fim/vertical.hpp"

@@ -1,0 +1,65 @@
+#include "fim/fimi_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace fim {
+
+TransactionDb read_fimi(std::istream& in) {
+  TransactionDb::Builder b;
+  std::string line;
+  std::size_t lineno = 0;
+  std::vector<Item> items;
+  while (std::getline(in, line)) {
+    ++lineno;
+    items.clear();
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+        continue;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(line[i])))
+        throw IoError("FIMI parse error at line " + std::to_string(lineno) +
+                      ": unexpected character '" + line[i] + "'");
+      std::uint64_t v = 0;
+      while (i < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[i]))) {
+        v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+        if (v > 0xFFFFFFFFull)
+          throw IoError("FIMI parse error at line " + std::to_string(lineno) +
+                        ": item id overflows 32 bits");
+        ++i;
+      }
+      items.push_back(static_cast<Item>(v));
+    }
+    b.add(items);
+  }
+  return std::move(b).build();
+}
+
+TransactionDb read_fimi_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw IoError("cannot open dataset file: " + path);
+  return read_fimi(f);
+}
+
+void write_fimi(const TransactionDb& db, std::ostream& out) {
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    auto tx = db.transaction(t);
+    for (std::size_t i = 0; i < tx.size(); ++i) {
+      if (i) out << ' ';
+      out << tx[i];
+    }
+    out << '\n';
+  }
+}
+
+void write_fimi_file(const TransactionDb& db, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw IoError("cannot open output file: " + path);
+  write_fimi(db, f);
+  if (!f) throw IoError("write failed: " + path);
+}
+
+}  // namespace fim

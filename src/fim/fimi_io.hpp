@@ -1,0 +1,30 @@
+#pragma once
+// FIMI dataset-format I/O.
+//
+// The FIMI repository format (fimi.ua.ac.be — the source of the paper's
+// datasets) is one transaction per line, items as whitespace-separated
+// decimal integers. These routines round-trip that format so generated
+// datasets can be saved and external FIMI files loaded.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "fim/transaction_db.hpp"
+
+namespace fim {
+
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses FIMI text. Blank lines become empty transactions; anything that
+/// is not a non-negative integer raises IoError with a line number.
+[[nodiscard]] TransactionDb read_fimi(std::istream& in);
+[[nodiscard]] TransactionDb read_fimi_file(const std::string& path);
+
+void write_fimi(const TransactionDb& db, std::ostream& out);
+void write_fimi_file(const TransactionDb& db, const std::string& path);
+
+}  // namespace fim

@@ -1,0 +1,70 @@
+#include "fim/result.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fim {
+
+void ItemsetCollection::canonicalize() {
+  std::sort(sets_.begin(), sets_.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+}
+
+void ItemsetCollection::build_index() {
+  index_.clear();
+  index_.reserve(sets_.size());
+  for (const auto& s : sets_) index_.emplace(s.items, s.support);
+}
+
+std::optional<Support> ItemsetCollection::support_of(const Itemset& s) const {
+  if (!index_.empty()) {
+    auto it = index_.find(s);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+  for (const auto& fs : sets_)
+    if (fs.items == s) return fs.support;
+  return std::nullopt;
+}
+
+std::vector<std::size_t> ItemsetCollection::counts_by_size() const {
+  std::vector<std::size_t> counts;
+  for (const auto& s : sets_) {
+    if (s.items.size() >= counts.size()) counts.resize(s.items.size() + 1, 0);
+    counts[s.items.size()] += 1;
+  }
+  return counts;
+}
+
+std::size_t ItemsetCollection::max_size() const {
+  std::size_t m = 0;
+  for (const auto& s : sets_) m = std::max(m, s.items.size());
+  return m;
+}
+
+bool ItemsetCollection::equivalent_to(const ItemsetCollection& other) const {
+  if (sets_.size() != other.sets_.size()) return false;
+  auto a = sets_, b = other.sets_;
+  auto cmp = [](const FrequentItemset& x, const FrequentItemset& y) {
+    return x.items < y.items;
+  };
+  std::sort(a.begin(), a.end(), cmp);
+  std::sort(b.begin(), b.end(), cmp);
+  return a == b;
+}
+
+std::string ItemsetCollection::to_string() const {
+  auto sorted = sets_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  std::ostringstream os;
+  for (const auto& s : sorted)
+    os << s.items.to_string() << " (" << s.support << ")\n";
+  return os.str();
+}
+
+}  // namespace fim

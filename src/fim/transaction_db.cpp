@@ -1,0 +1,62 @@
+#include "fim/transaction_db.hpp"
+
+#include <algorithm>
+
+namespace fim {
+
+void TransactionDb::Builder::add(std::vector<Item> items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  for (Item x : items) {
+    items_.push_back(x);
+    max_item_ = std::max(max_item_, x);
+    any_items_ = true;
+  }
+  offsets_.push_back(items_.size());
+}
+
+TransactionDb TransactionDb::Builder::build() && {
+  TransactionDb db;
+  db.items_ = std::move(items_);
+  db.offsets_ = std::move(offsets_);
+  db.item_universe_ = any_items_ ? static_cast<std::size_t>(max_item_) + 1 : 0;
+  return db;
+}
+
+TransactionDb TransactionDb::from_transactions(
+    const std::vector<std::vector<Item>>& transactions) {
+  Builder b;
+  for (const auto& t : transactions) b.add(t);
+  return std::move(b).build();
+}
+
+std::vector<Support> TransactionDb::item_frequencies() const {
+  std::vector<Support> freq(item_universe_, 0);
+  for (Item x : items_) freq[x] += 1;
+  return freq;
+}
+
+TransactionDb TransactionDb::filter_remap(
+    const std::vector<bool>& keep, const std::vector<Item>& new_id) const {
+  TransactionDb out;
+  out.items_.reserve(items_.size());
+  out.offsets_.reserve(offsets_.size());
+  std::size_t universe = 0;
+  std::vector<Item> scratch;
+  for (std::size_t t = 0; t < num_transactions(); ++t) {
+    scratch.clear();
+    for (Item x : transaction(t)) {
+      if (x < keep.size() && keep[x]) {
+        scratch.push_back(new_id[x]);
+        universe = std::max<std::size_t>(universe, new_id[x] + 1);
+      }
+    }
+    std::sort(scratch.begin(), scratch.end());
+    out.items_.insert(out.items_.end(), scratch.begin(), scratch.end());
+    out.offsets_.push_back(out.items_.size());
+  }
+  out.item_universe_ = universe;
+  return out;
+}
+
+}  // namespace fim

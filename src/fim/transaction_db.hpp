@@ -1,0 +1,72 @@
+#pragma once
+// Horizontal transaction database.
+//
+// The canonical input representation (paper Fig. 2A): each transaction is a
+// strictly-increasing item list. Stored flattened (CSR-style: one item
+// array plus offsets) for locality; this matters for the horizontal-layout
+// baseline miner, which streams the whole database every level.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fim/itemset.hpp"
+
+namespace fim {
+
+class TransactionDb {
+ public:
+  TransactionDb() = default;
+
+  /// Builds from explicit transactions. Each transaction is sorted and
+  /// deduplicated; empty transactions are kept (they occur in real data and
+  /// must count toward the total for support-ratio math).
+  static TransactionDb from_transactions(
+      const std::vector<std::vector<Item>>& transactions);
+
+  class Builder {
+   public:
+    /// Appends one transaction (any order; normalized on add).
+    void add(std::vector<Item> items);
+    [[nodiscard]] TransactionDb build() &&;
+
+   private:
+    std::vector<Item> items_;
+    std::vector<std::uint64_t> offsets_{0};
+    Item max_item_ = 0;
+    bool any_items_ = false;
+  };
+
+  [[nodiscard]] std::size_t num_transactions() const {
+    return offsets_.size() - 1;
+  }
+  /// One past the largest item id present (0 for an empty database).
+  [[nodiscard]] std::size_t item_universe() const { return item_universe_; }
+  [[nodiscard]] std::uint64_t total_items() const { return items_.size(); }
+
+  [[nodiscard]] std::span<const Item> transaction(std::size_t t) const {
+    return {items_.data() + offsets_[t],
+            static_cast<std::size_t>(offsets_[t + 1] - offsets_[t])};
+  }
+
+  /// Occurrence count of every item in [0, item_universe).
+  [[nodiscard]] std::vector<Support> item_frequencies() const;
+
+  /// Returns a database containing only the items for which keep[item] is
+  /// true, with items RENUMBERED densely in the order given by `new_id`
+  /// (new_id[item] is the id in the output; only consulted where keep is
+  /// true). Transactions that become empty are retained. This implements
+  /// the standard Apriori preprocessing (drop infrequent items, remap to
+  /// frequency order).
+  [[nodiscard]] TransactionDb filter_remap(const std::vector<bool>& keep,
+                                           const std::vector<Item>& new_id) const;
+
+  friend bool operator==(const TransactionDb&, const TransactionDb&) = default;
+
+ private:
+  std::vector<Item> items_;
+  std::vector<std::uint64_t> offsets_{0};
+  std::size_t item_universe_ = 0;
+};
+
+}  // namespace fim

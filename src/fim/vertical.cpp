@@ -1,0 +1,71 @@
+#include "fim/vertical.hpp"
+
+namespace fim {
+
+VerticalDb VerticalDb::from_horizontal(const TransactionDb& db) {
+  VerticalDb v;
+  v.num_transactions = db.num_transactions();
+  v.tidsets.resize(db.item_universe());
+  for (std::size_t t = 0; t < db.num_transactions(); ++t)
+    for (Item x : db.transaction(t))
+      v.tidsets[x].push_back(static_cast<Tid>(t));
+  return v;
+}
+
+std::vector<Tid> tidset_intersect(std::span<const Tid> a,
+                                  std::span<const Tid> b) {
+  std::vector<Tid> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<Tid> tidset_difference(std::span<const Tid> a,
+                                   std::span<const Tid> b) {
+  std::vector<Tid> out;
+  out.reserve(a.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.size()) {
+    if (j == b.size() || a[i] < b[j]) {
+      out.push_back(a[i]);
+      ++i;
+    } else if (a[i] == b[j]) {
+      ++i;
+      ++j;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+Support tidset_intersect_count(std::span<const Tid> a,
+                               std::span<const Tid> b) {
+  Support n = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+}  // namespace fim

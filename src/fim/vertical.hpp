@@ -1,0 +1,39 @@
+#pragma once
+// Vertical (tidset) database layout — paper Fig. 2B, left column.
+//
+// One sorted transaction-id list per item. This is the layout Borgelt/
+// Bodon-class Apriori implementations and Eclat operate on; the paper's
+// bitset layout (bitset_ops.hpp) is its fixed-width counterpart.
+
+#include <span>
+#include <vector>
+
+#include "fim/itemset.hpp"
+#include "fim/transaction_db.hpp"
+
+namespace fim {
+
+struct VerticalDb {
+  std::vector<std::vector<Tid>> tidsets;  ///< indexed by item id
+  std::size_t num_transactions = 0;
+
+  static VerticalDb from_horizontal(const TransactionDb& db);
+
+  [[nodiscard]] Support support(Item x) const {
+    return static_cast<Support>(tidsets[x].size());
+  }
+};
+
+/// Sorted-list intersection (the tidset join of Fig. 3a).
+[[nodiscard]] std::vector<Tid> tidset_intersect(std::span<const Tid> a,
+                                                std::span<const Tid> b);
+
+/// a \ b, both sorted — the diffset primitive (Zaki & Gouda).
+[[nodiscard]] std::vector<Tid> tidset_difference(std::span<const Tid> a,
+                                                 std::span<const Tid> b);
+
+/// |a ∩ b| without materializing the intersection.
+[[nodiscard]] Support tidset_intersect_count(std::span<const Tid> a,
+                                             std::span<const Tid> b);
+
+}  // namespace fim

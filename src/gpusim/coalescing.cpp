@@ -1,0 +1,106 @@
+#include "gpusim/coalescing.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace gpusim {
+namespace {
+
+// Base segment size for an access width, per the CUDA 2.x programming
+// guide: 1-byte accesses use 32 B segments, 2-byte use 64 B, 4/8/16-byte
+// use 128 B.
+std::uint32_t base_segment_bytes(std::uint32_t access_bytes) {
+  if (access_bytes == 1) return 32;
+  if (access_bytes == 2) return 64;
+  return 128;
+}
+
+// Services the active lanes in [lo, hi) (a half-warp) and appends the
+// resulting transactions.
+void service_half_warp(const WarpRequest& req, int lo, int hi,
+                       CoalesceResult& out,
+                       std::vector<Transaction>* collect) {
+  std::vector<int> pending;
+  for (int lane = lo; lane < hi; ++lane) {
+    if (req.active_mask & (1u << lane)) pending.push_back(lane);
+  }
+  while (!pending.empty()) {
+    // Start from the lowest-numbered pending lane's segment.
+    const std::uint64_t a0 = req.addr[static_cast<std::size_t>(pending.front())];
+    std::uint32_t seg = base_segment_bytes(req.access_bytes);
+    std::uint64_t seg_base = a0 / seg * seg;
+
+    // Gather every pending lane whose access falls fully inside the segment.
+    std::vector<int> served;
+    std::uint64_t min_a = ~std::uint64_t{0}, max_end = 0;
+    for (int lane : pending) {
+      const std::uint64_t a = req.addr[static_cast<std::size_t>(lane)];
+      if (a >= seg_base && a + req.access_bytes <= seg_base + seg) {
+        served.push_back(lane);
+        min_a = std::min(min_a, a);
+        max_end = std::max(max_end, a + req.access_bytes);
+      }
+    }
+
+    // Reduce the transaction size while all served accesses fit inside an
+    // aligned half of the current segment (128 -> 64 -> 32).
+    while (seg > 32) {
+      const std::uint32_t half = seg / 2;
+      const std::uint64_t hi_half = seg_base + half;
+      if (max_end <= hi_half) {
+        seg = half;  // all in the lower half
+      } else if (min_a >= hi_half) {
+        seg = half;
+        seg_base = hi_half;  // all in the upper half
+      } else {
+        break;
+      }
+    }
+
+    out.transactions += 1;
+    out.bytes_transferred += seg;
+    if (collect) collect->push_back({seg_base, seg});
+
+    std::erase_if(pending, [&](int lane) {
+      return std::find(served.begin(), served.end(), lane) != served.end();
+    });
+  }
+}
+
+}  // namespace
+
+CoalesceResult coalesce_cc13(const WarpRequest& req,
+                             std::vector<Transaction>* collect) {
+  CoalesceResult out;
+  out.bytes_requested =
+      static_cast<std::uint64_t>(std::popcount(req.active_mask)) *
+      req.access_bytes;
+  service_half_warp(req, 0, 16, out, collect);
+  service_half_warp(req, 16, 32, out, collect);
+  return out;
+}
+
+std::uint32_t shared_bank_serialization(const WarpRequest& req, int banks) {
+  std::uint32_t total = 0;
+  for (int half = 0; half < 2; ++half) {
+    const int lo = half * 16, hi = lo + 16;
+    // bank -> set of distinct 32-bit word addresses accessed in that bank.
+    std::vector<std::vector<std::uint64_t>> words(
+        static_cast<std::size_t>(banks));
+    bool any = false;
+    for (int lane = lo; lane < hi; ++lane) {
+      if (!(req.active_mask & (1u << lane))) continue;
+      any = true;
+      const std::uint64_t word = req.addr[static_cast<std::size_t>(lane)] / 4;
+      auto& w = words[word % static_cast<std::uint64_t>(banks)];
+      if (std::find(w.begin(), w.end(), word) == w.end()) w.push_back(word);
+    }
+    if (!any) continue;
+    std::size_t degree = 1;
+    for (const auto& w : words) degree = std::max(degree, w.size());
+    total += static_cast<std::uint32_t>(degree);
+  }
+  return total;
+}
+
+}  // namespace gpusim

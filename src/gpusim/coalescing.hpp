@@ -1,0 +1,90 @@
+#pragma once
+// Global-memory coalescing and shared-memory bank-conflict analysis.
+//
+// Implements the compute-capability 1.3 (GT200 / Tesla T10) coalescing
+// protocol: memory requests are issued per HALF-warp; each request is
+// serviced by one or more 32/64/128-byte segment transactions. The paper's
+// central data-layout argument (Fig. 3: bitset join is coalesced, tidset
+// join is not) is made quantitative by these routines.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gpusim {
+
+inline constexpr std::uint64_t kInactiveLane = ~std::uint64_t{0};
+
+/// One warp-wide memory request: the byte address each lane accessed
+/// (kInactiveLane for lanes that did not participate) and the per-lane
+/// access width in bytes (uniform across the warp, as in compiled code).
+struct WarpRequest {
+  std::array<std::uint64_t, 32> addr{};
+  std::uint32_t access_bytes = 4;
+  std::uint32_t active_mask = 0;
+
+  WarpRequest() { addr.fill(kInactiveLane); }
+};
+
+/// A single DRAM transaction produced by servicing (part of) a request.
+struct Transaction {
+  std::uint64_t segment_base = 0;
+  std::uint32_t segment_bytes = 0;
+};
+
+/// Outcome of coalescing one warp request.
+struct CoalesceResult {
+  std::uint32_t transactions = 0;       ///< number of segment transactions
+  std::uint64_t bytes_transferred = 0;  ///< sum of segment sizes
+  std::uint64_t bytes_requested = 0;    ///< active lanes x access size
+};
+
+/// Applies the CC 1.3 protocol to one warp request (two independent
+/// half-warp requests). `collect`, when non-null, receives every emitted
+/// transaction — used by tests and the Fig. 3 bench to inspect segments.
+CoalesceResult coalesce_cc13(const WarpRequest& req,
+                             std::vector<Transaction>* collect = nullptr);
+
+/// Shared-memory bank conflicts, CC 1.3 model: 16 banks, requests issued per
+/// half-warp, successive 32-bit words map to successive banks. Lanes that
+/// read the SAME word broadcast (no conflict). Returns the serialization
+/// degree summed over both half-warps: 2 means conflict-free for a full
+/// warp; each extra unit is one replayed shared-memory cycle.
+std::uint32_t shared_bank_serialization(const WarpRequest& req, int banks = 16);
+
+/// Aggregated coalescing statistics over many requests (per kernel launch).
+struct MemoryAccessStats {
+  std::uint64_t requests = 0;
+  std::uint64_t transactions = 0;
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t bytes_transferred = 0;
+
+  void add(const CoalesceResult& r) {
+    requests += 1;
+    transactions += r.transactions;
+    bytes_requested += r.bytes_requested;
+    bytes_transferred += r.bytes_transferred;
+  }
+  void merge(const MemoryAccessStats& o) {
+    requests += o.requests;
+    transactions += o.transactions;
+    bytes_requested += o.bytes_requested;
+    bytes_transferred += o.bytes_transferred;
+  }
+  /// DRAM traffic amplification: 1.0 = perfectly coalesced.
+  [[nodiscard]] double overfetch() const {
+    return bytes_requested == 0
+               ? 1.0
+               : static_cast<double>(bytes_transferred) /
+                     static_cast<double>(bytes_requested);
+  }
+  /// nvprof-style "global load efficiency".
+  [[nodiscard]] double efficiency() const { return 1.0 / overfetch(); }
+  [[nodiscard]] double transactions_per_request() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(transactions) /
+                               static_cast<double>(requests);
+  }
+};
+
+}  // namespace gpusim

@@ -1,0 +1,91 @@
+#include "gpusim/device.hpp"
+
+namespace gpusim {
+
+DeviceProperties DeviceProperties::tesla_t10() {
+  DeviceProperties p;
+  p.name = "Tesla T10 (GT200, simulated)";
+  // Published GT200 / Tesla T10 numbers: 30 SMs x 8 SPs @ 1.296 GHz,
+  // 16 KiB shared memory and 16384 registers per SM, 1024 threads and
+  // 8 blocks per SM, 4 GiB GDDR3 at ~102 GB/s.
+  p.sm_count = 30;
+  p.sp_per_sm = 8;
+  p.core_clock_ghz = 1.296;
+  p.warp_size = 32;
+  p.max_threads_per_sm = 1024;
+  p.max_blocks_per_sm = 8;
+  p.max_warps_per_sm = 32;
+  p.max_threads_per_block = 512;
+  p.shared_mem_per_sm = 16 * 1024;
+  p.registers_per_sm = 16 * 1024;
+  p.shared_mem_alloc_granularity = 512;
+  p.register_alloc_granularity = 512;
+  p.global_mem_bytes = 4ull << 30;
+  p.mem_bandwidth_gbps = 102.0;
+  p.mem_banks = 16;
+  // Calibration constants: PCIe gen2 x16 sustains roughly 5.5 GB/s for
+  // pinned transfers; launch + transfer latencies are typical CUDA 2.x era
+  // driver overheads.
+  p.pcie_bandwidth_gbps = 5.5;
+  p.pcie_latency_us = 10.0;
+  p.kernel_launch_us = 7.0;
+  return p;
+}
+
+DeviceProperties DeviceProperties::gtx_280() {
+  DeviceProperties p = tesla_t10();
+  p.name = "GeForce GTX 280 (GT200, simulated)";
+  p.global_mem_bytes = 1ull << 30;
+  p.mem_bandwidth_gbps = 141.7;  // 512-bit GDDR3 @ 1107 MHz
+  return p;
+}
+
+DeviceProperties DeviceProperties::tesla_c2050() {
+  DeviceProperties p;
+  p.name = "Tesla C2050 (Fermi, simulated)";
+  p.sm_count = 14;
+  p.sp_per_sm = 32;
+  p.core_clock_ghz = 1.15;
+  p.warp_size = 32;
+  p.max_threads_per_sm = 1536;
+  p.max_blocks_per_sm = 8;
+  p.max_warps_per_sm = 48;
+  p.max_threads_per_block = 1024;
+  p.shared_mem_per_sm = 48 * 1024;
+  p.registers_per_sm = 32 * 1024;
+  p.shared_mem_alloc_granularity = 128;
+  p.register_alloc_granularity = 64;
+  p.global_mem_bytes = 3ull << 30;
+  p.mem_bandwidth_gbps = 144.0;
+  p.mem_banks = 32;
+  p.pcie_bandwidth_gbps = 5.8;
+  p.pcie_latency_us = 8.0;
+  p.kernel_launch_us = 5.0;
+  return p;
+}
+
+DeviceProperties DeviceProperties::test_device() {
+  DeviceProperties p;
+  p.name = "gpusim test device";
+  p.sm_count = 2;
+  p.sp_per_sm = 8;
+  p.core_clock_ghz = 1.0;
+  p.warp_size = 32;
+  p.max_threads_per_sm = 256;
+  p.max_blocks_per_sm = 4;
+  p.max_warps_per_sm = 8;
+  p.max_threads_per_block = 128;
+  p.shared_mem_per_sm = 4 * 1024;
+  p.registers_per_sm = 4 * 1024;
+  p.shared_mem_alloc_granularity = 128;
+  p.register_alloc_granularity = 64;
+  p.global_mem_bytes = 64ull << 20;
+  p.mem_bandwidth_gbps = 10.0;
+  p.mem_banks = 16;
+  p.pcie_bandwidth_gbps = 1.0;
+  p.pcie_latency_us = 5.0;
+  p.kernel_launch_us = 2.0;
+  return p;
+}
+
+}  // namespace gpusim

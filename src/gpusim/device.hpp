@@ -1,0 +1,72 @@
+#pragma once
+// Device descriptions for the SIMT simulator.
+//
+// DeviceProperties captures the architectural parameters the executor,
+// occupancy calculator, and timing model need. The Tesla T10 preset models
+// the GT200-class part used in the GPApriori paper (one GPU of a Tesla
+// S1070). Values are from the published GT200 specification; the handful of
+// calibration constants (launch overhead, PCIe latency) are documented at
+// the preset definition.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gpusim {
+
+struct DeviceProperties {
+  std::string name;
+
+  // Compute resources.
+  int sm_count = 1;              ///< Streaming multiprocessors.
+  int sp_per_sm = 8;             ///< Scalar cores (SPs) per SM.
+  double core_clock_ghz = 1.0;   ///< SP clock.
+  int warp_size = 32;
+
+  // Per-SM limits (occupancy inputs).
+  int max_threads_per_sm = 1024;
+  int max_blocks_per_sm = 8;
+  int max_warps_per_sm = 32;
+  int max_threads_per_block = 512;
+  std::size_t shared_mem_per_sm = 16 * 1024;
+  int registers_per_sm = 16 * 1024;
+  std::size_t shared_mem_alloc_granularity = 512;  ///< bytes
+  int register_alloc_granularity = 512;            ///< registers
+
+  // Memory system.
+  std::size_t global_mem_bytes = 4ull << 30;
+  double mem_bandwidth_gbps = 100.0;  ///< peak DRAM bandwidth, GB/s
+  int mem_banks = 16;                 ///< shared-memory banks (half-warp on GT200)
+
+  // Host link + overheads (calibration constants).
+  double pcie_bandwidth_gbps = 5.5;  ///< effective PCIe throughput, GB/s
+  double pcie_latency_us = 10.0;     ///< per-transfer fixed cost
+  double kernel_launch_us = 7.0;     ///< per-launch fixed cost
+
+  /// Warp instruction issue cost in core cycles: a 32-lane warp instruction
+  /// retires over warp_size / sp_per_sm cycles on one SM (4 on GT200).
+  [[nodiscard]] double cycles_per_warp_instruction() const {
+    return static_cast<double>(warp_size) / sp_per_sm;
+  }
+
+  /// The GT200-class Tesla T10 processor used in the paper's Tesla S1070.
+  static DeviceProperties tesla_t10();
+
+  /// Consumer GT200 (GTX 280): same SM array as the T10 but a wider memory
+  /// bus (~141.7 GB/s) and 1 GiB — the card most 2009-era reproductions
+  /// would have used.
+  static DeviceProperties gtx_280();
+
+  /// Fermi-class Tesla C2050 (2010): 14 SMs x 32 cores @ 1.15 GHz,
+  /// 144 GB/s, 48 KiB shared, 1536 threads/SM. Used by the what-if bench to
+  /// ask how GPApriori would have scaled one hardware generation later.
+  /// (The memory-coalescing model stays CC 1.3; Fermi's L1 would only
+  /// improve on it, so the estimate is conservative.)
+  static DeviceProperties tesla_c2050();
+
+  /// A deliberately tiny device for unit tests (2 SMs, small limits) so that
+  /// multi-wave scheduling and occupancy edge cases are exercised cheaply.
+  static DeviceProperties test_device();
+};
+
+}  // namespace gpusim

@@ -1,0 +1,52 @@
+#include "gpusim/device_context.hpp"
+
+#include <sstream>
+
+namespace gpusim {
+
+Device::Device(DeviceProperties props, DeviceOptions opts)
+    : props_(std::move(props)),
+      opts_(opts),
+      mem_(std::min(opts.arena_bytes, props_.global_mem_bytes),
+           opts.strict_memory) {}
+
+KernelStats Device::launch_async(const Kernel& kernel,
+                                 const LaunchConfig& cfg, StreamId stream) {
+  KernelStats stats = run_kernel(kernel, cfg, mem_, props_, opts_.executor);
+  stats.timing = estimate_kernel_time(stats, props_);
+  timeline_.schedule_kernel(stream, stats.timing.total_ns);
+  ledger_.launches += 1;
+  if (opts_.record_launches) history_.push_back(stats);
+  return stats;
+}
+
+double Device::synchronize() {
+  const double horizon = timeline_.sync();
+  const double delta = horizon - last_sync_horizon_;
+  last_sync_horizon_ = horizon;
+  ledger_.async_ns += delta;
+  return delta;
+}
+
+KernelStats Device::launch(const Kernel& kernel, const LaunchConfig& cfg) {
+  KernelStats stats = run_kernel(kernel, cfg, mem_, props_, opts_.executor);
+  stats.timing = estimate_kernel_time(stats, props_);
+  ledger_.kernel_ns += stats.timing.total_ns;
+  ledger_.launches += 1;
+  if (opts_.record_launches) history_.push_back(stats);
+  return stats;
+}
+
+std::string Device::profile_report() const {
+  std::ostringstream os;
+  os << "=== " << props_.name << " profile: " << history_.size()
+     << " launches, " << ledger_.launches << " total ===\n";
+  for (const auto& s : history_) os << s.summary() << "\n";
+  os << "ledger: kernels " << ledger_.kernel_ns / 1e6 << " ms, h2d "
+     << ledger_.h2d_ns / 1e6 << " ms (" << ledger_.h2d_transfers
+     << " copies), d2h " << ledger_.d2h_ns / 1e6 << " ms ("
+     << ledger_.d2h_transfers << " copies)\n";
+  return os.str();
+}
+
+}  // namespace gpusim

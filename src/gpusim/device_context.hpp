@@ -1,0 +1,154 @@
+#pragma once
+// Device: the user-facing simulator handle.
+//
+// Owns the device description, the global-memory arena, and a time ledger.
+// All host<->device traffic and kernel launches go through this object so
+// that the simulated wall-clock of a whole application phase (e.g. one
+// Apriori level) can be read off afterwards — the simulator's equivalent of
+// bracketing CUDA calls with events.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/stats.hpp"
+#include "gpusim/stream.hpp"
+#include "gpusim/timing.hpp"
+
+namespace gpusim {
+
+/// Accumulated simulated time, in nanoseconds.
+struct TimeLedger {
+  double h2d_ns = 0;
+  double d2h_ns = 0;
+  double kernel_ns = 0;
+  /// Elapsed time of stream-based (overlapped) work, charged at
+  /// synchronize(); the synchronous columns above are not double-counted.
+  double async_ns = 0;
+  std::uint64_t h2d_transfers = 0;
+  std::uint64_t d2h_transfers = 0;
+  std::uint64_t launches = 0;
+
+  [[nodiscard]] double total_ns() const {
+    return h2d_ns + d2h_ns + kernel_ns + async_ns;
+  }
+  void reset() { *this = TimeLedger{}; }
+};
+
+struct DeviceOptions {
+  /// Size of the simulated DRAM arena actually backed by host memory.
+  /// Defaults well below the T10's 4 GiB so simulations stay laptop-sized;
+  /// allocation failures still behave like real cudaMalloc exhaustion.
+  std::size_t arena_bytes = 256ull << 20;
+  bool strict_memory = false;
+  ExecutorOptions executor;
+  /// Keep per-launch KernelStats for profiling reports.
+  bool record_launches = true;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceProperties props = DeviceProperties::tesla_t10(),
+                  DeviceOptions opts = {});
+
+  [[nodiscard]] const DeviceProperties& properties() const { return props_; }
+  [[nodiscard]] GlobalMemory& memory() { return mem_; }
+  [[nodiscard]] const GlobalMemory& memory() const { return mem_; }
+
+  template <typename T>
+  DevicePtr<T> alloc(std::size_t count, std::size_t alignment = alignof(T)) {
+    return mem_.alloc<T>(count, alignment);
+  }
+  template <typename T>
+  void free(DevicePtr<T> p) {
+    mem_.free(p);
+  }
+
+  /// Synchronous host->device copy; charges PCIe time to the ledger.
+  template <typename T>
+  void copy_to_device(DevicePtr<T> dst, std::span<const T> src) {
+    mem_.write_bytes(dst.addr, src.data(), src.size_bytes());
+    ledger_.h2d_ns += estimate_transfer_ns(src.size_bytes(), props_);
+    ledger_.h2d_transfers += 1;
+  }
+
+  /// Synchronous device->host copy; charges PCIe time to the ledger.
+  template <typename T>
+  void copy_to_host(std::span<T> dst, DevicePtr<T> src) {
+    mem_.read_bytes(src.addr, dst.data(), dst.size_bytes());
+    ledger_.d2h_ns += estimate_transfer_ns(dst.size_bytes(), props_);
+    ledger_.d2h_transfers += 1;
+  }
+
+  /// Runs a kernel, applies the timing model, updates the ledger, and
+  /// returns the full launch statistics.
+  KernelStats launch(const Kernel& kernel, const LaunchConfig& cfg);
+
+  /// Charges device-to-device DRAM traffic (e.g. a cudaMemcpyDeviceToDevice
+  /// gather) against the kernel-time ledger: read + write at peak bandwidth.
+  void charge_device_traffic(std::size_t bytes) {
+    ledger_.kernel_ns +=
+        2.0 * static_cast<double>(bytes) / props_.mem_bandwidth_gbps;
+  }
+
+  // --- asynchronous API: streams with GT200 copy/compute overlap ---
+  // Functional effects happen immediately (the simulator is sequential);
+  // the TIMING is scheduled on the stream timeline and charged to the
+  // ledger at synchronize(). Issue order must respect data dependencies,
+  // exactly as a correct CUDA program's would.
+
+  template <typename T>
+  void copy_to_device_async(DevicePtr<T> dst, std::span<const T> src,
+                            StreamId stream) {
+    mem_.write_bytes(dst.addr, src.data(), src.size_bytes());
+    timeline_.schedule_copy(stream,
+                            estimate_transfer_ns(src.size_bytes(), props_));
+    ledger_.h2d_transfers += 1;
+  }
+
+  template <typename T>
+  void copy_to_host_async(std::span<T> dst, DevicePtr<T> src,
+                          StreamId stream) {
+    mem_.read_bytes(src.addr, dst.data(), dst.size_bytes());
+    timeline_.schedule_copy(stream,
+                            estimate_transfer_ns(dst.size_bytes(), props_));
+    ledger_.d2h_transfers += 1;
+  }
+
+  /// Executes the kernel now, schedules its modeled duration on `stream`.
+  KernelStats launch_async(const Kernel& kernel, const LaunchConfig& cfg,
+                           StreamId stream);
+
+  /// Completes all outstanding async work; returns the overlapped elapsed
+  /// time since the previous synchronize(), which is also what gets added
+  /// to the ledger's async_ns.
+  double synchronize();
+
+  [[nodiscard]] Timeline& timeline() { return timeline_; }
+
+  [[nodiscard]] const TimeLedger& ledger() const { return ledger_; }
+  void reset_ledger() { ledger_.reset(); }
+
+  [[nodiscard]] const std::vector<KernelStats>& launch_history() const {
+    return history_;
+  }
+  void clear_launch_history() { history_.clear(); }
+
+  /// nvprof-style textual profile of every recorded launch.
+  [[nodiscard]] std::string profile_report() const;
+
+ private:
+  DeviceProperties props_;
+  DeviceOptions opts_;
+  GlobalMemory mem_;
+  TimeLedger ledger_;
+  std::vector<KernelStats> history_;
+  Timeline timeline_{8};
+  double last_sync_horizon_ = 0;
+};
+
+}  // namespace gpusim

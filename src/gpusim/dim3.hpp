@@ -1,0 +1,46 @@
+#pragma once
+// Launch geometry types for the SIMT simulator.
+//
+// Mirrors the CUDA dim3 / launch-configuration vocabulary so that kernels
+// written against the simulator read like their CUDA counterparts.
+
+#include <cstdint>
+#include <cstddef>
+
+namespace gpusim {
+
+/// Three-component extent, CUDA-style. Components default to 1 so that
+/// Dim3{n} describes a 1-D shape.
+struct Dim3 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+  std::uint32_t z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(std::uint32_t x_) : x(x_) {}
+  constexpr Dim3(std::uint32_t x_, std::uint32_t y_) : x(x_), y(y_) {}
+  constexpr Dim3(std::uint32_t x_, std::uint32_t y_, std::uint32_t z_)
+      : x(x_), y(y_), z(z_) {}
+
+  /// Total number of elements described by this extent.
+  [[nodiscard]] constexpr std::uint64_t count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+
+  friend constexpr bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+/// Kernel launch configuration: grid of blocks, block of threads, and the
+/// amount of dynamically-sized shared memory requested per block.
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  std::size_t dynamic_shared_bytes = 0;
+
+  [[nodiscard]] constexpr std::uint64_t num_blocks() const { return grid.count(); }
+  [[nodiscard]] constexpr std::uint32_t threads_per_block() const {
+    return static_cast<std::uint32_t>(block.count());
+  }
+};
+
+}  // namespace gpusim

@@ -1,0 +1,19 @@
+#pragma once
+// Error type for the SIMT simulator.
+//
+// Simulator misuse (bad launch geometry, out-of-bounds device access,
+// exhausted device memory) throws SimError. Functional kernels must never
+// silently corrupt state the way a real GPU would: every device access is
+// bounds-checked.
+
+#include <stdexcept>
+#include <string>
+
+namespace gpusim {
+
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace gpusim

@@ -1,0 +1,201 @@
+#include "gpusim/executor.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/error.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace gpusim {
+
+namespace detail {
+
+namespace {
+
+// Zips the i-th recorded access of every lane in a warp into warp requests
+// and feeds them through the coalescing model.
+void analyze_global(const std::array<LaneTrace, 32>& warp, bool loads,
+                    MemoryAccessStats& out) {
+  std::size_t max_len = 0;
+  for (const auto& lane : warp) {
+    const auto& addrs = loads ? lane.load_addr : lane.store_addr;
+    max_len = std::max(max_len, addrs.size());
+  }
+  for (std::size_t i = 0; i < max_len; ++i) {
+    WarpRequest req;
+    for (std::uint32_t l = 0; l < 32; ++l) {
+      const auto& addrs = loads ? warp[l].load_addr : warp[l].store_addr;
+      const auto& sizes = loads ? warp[l].load_size : warp[l].store_size;
+      if (i < addrs.size()) {
+        req.addr[l] = addrs[i];
+        req.access_bytes = sizes[i];
+        req.active_mask |= (1u << l);
+      }
+    }
+    if (req.active_mask) out.add(coalesce_cc13(req));
+  }
+}
+
+void analyze_shared(const std::array<LaneTrace, 32>& warp,
+                    std::uint64_t& requests, std::uint64_t& serialization) {
+  std::size_t max_len = 0;
+  for (const auto& lane : warp) max_len = std::max(max_len, lane.shared_addr.size());
+  for (std::size_t i = 0; i < max_len; ++i) {
+    WarpRequest req;
+    for (std::uint32_t l = 0; l < 32; ++l) {
+      if (i < warp[l].shared_addr.size()) {
+        req.addr[l] = warp[l].shared_addr[i];
+        req.active_mask |= (1u << l);
+      }
+    }
+    if (req.active_mask) {
+      requests += 1;
+      serialization += shared_bank_serialization(req);
+    }
+  }
+}
+
+}  // namespace
+
+void BlockRecorder::analyze_phase(MemoryAccessStats& loads,
+                                  MemoryAccessStats& stores,
+                                  std::uint64_t& shared_requests,
+                                  std::uint64_t& shared_serialization) const {
+  for (const auto& warp : traces_) {
+    analyze_global(warp, /*loads=*/true, loads);
+    analyze_global(warp, /*loads=*/false, stores);
+    analyze_shared(warp, shared_requests, shared_serialization);
+  }
+}
+
+std::uint64_t BlockRecorder::count_shared_races() const {
+  // byte offset -> tid of (first) writer this phase.
+  std::unordered_map<std::uint64_t, std::uint32_t> writer;
+  std::uint64_t races = 0;
+  for (std::uint32_t w = 0; w < traces_.size(); ++w) {
+    for (std::uint32_t l = 0; l < 32; ++l) {
+      const auto& t = traces_[w][l];
+      const std::uint32_t tid = w * 32 + l;
+      for (std::size_t i = 0; i < t.shared_w_addr.size(); ++i) {
+        for (std::uint32_t b = 0; b < t.shared_w_size[i]; ++b) {
+          auto [it, inserted] = writer.emplace(t.shared_w_addr[i] + b, tid);
+          if (!inserted && it->second != tid) ++races;  // write-write
+        }
+      }
+    }
+  }
+  if (writer.empty()) return races;
+  for (std::uint32_t w = 0; w < traces_.size(); ++w) {
+    for (std::uint32_t l = 0; l < 32; ++l) {
+      const auto& t = traces_[w][l];
+      const std::uint32_t tid = w * 32 + l;
+      for (std::size_t i = 0; i < t.shared_r_addr.size(); ++i) {
+        for (std::uint32_t b = 0; b < t.shared_r_size[i]; ++b) {
+          auto it = writer.find(t.shared_r_addr[i] + b);
+          if (it != writer.end() && it->second != tid) ++races;  // read-write
+        }
+      }
+    }
+  }
+  return races;
+}
+
+}  // namespace detail
+
+KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
+                       GlobalMemory& gmem, const DeviceProperties& props,
+                       const ExecutorOptions& opts) {
+  const std::uint32_t tpb = cfg.threads_per_block();
+  const std::uint64_t num_blocks = cfg.num_blocks();
+  if (num_blocks == 0 || tpb == 0)
+    throw SimError("launch: empty grid or block");
+  if (tpb > static_cast<std::uint32_t>(props.max_threads_per_block))
+    throw SimError("launch: " + std::to_string(tpb) +
+                   " threads/block exceeds device limit " +
+                   std::to_string(props.max_threads_per_block));
+
+  const KernelInfo info = kernel.info(cfg);
+  if (info.num_phases == 0) throw SimError("launch: kernel declares 0 phases");
+  const std::size_t shared_bytes =
+      info.static_shared_bytes + cfg.dynamic_shared_bytes;
+  if (shared_bytes > props.shared_mem_per_sm)
+    throw SimError("launch: block shared memory (" +
+                   std::to_string(shared_bytes) + " B) exceeds SM capacity (" +
+                   std::to_string(props.shared_mem_per_sm) + " B)");
+
+  KernelStats stats;
+  stats.kernel_name = std::string(kernel.name());
+  stats.config = cfg;
+  stats.occupancy =
+      compute_occupancy(props, tpb, shared_bytes, info.regs_per_thread);
+
+  const std::uint32_t num_warps =
+      (tpb + static_cast<std::uint32_t>(props.warp_size) - 1) /
+      static_cast<std::uint32_t>(props.warp_size);
+
+  SharedMemory smem(shared_bytes);
+  detail::BlockRecorder recorder;
+  std::vector<std::uint64_t> lane_ops(tpb);
+
+  for (std::uint64_t flat_block = 0; flat_block < num_blocks; ++flat_block) {
+    const bool sampled =
+        opts.sample_stride != 0 && (flat_block % opts.sample_stride == 0);
+    if (sampled) stats.sampled_blocks += 1;
+
+    const Dim3 block_idx{
+        static_cast<std::uint32_t>(flat_block % cfg.grid.x),
+        static_cast<std::uint32_t>((flat_block / cfg.grid.x) % cfg.grid.y),
+        static_cast<std::uint32_t>(flat_block / (static_cast<std::uint64_t>(cfg.grid.x) * cfg.grid.y))};
+
+    smem.reset(shared_bytes);
+    stats.counters.blocks += 1;
+    stats.counters.threads += tpb;
+
+    for (std::uint32_t phase = 0; phase < info.num_phases; ++phase) {
+      if (sampled) recorder.begin_phase(num_warps);
+      std::fill(lane_ops.begin(), lane_ops.end(), 0);
+
+      for (std::uint32_t tid = 0; tid < tpb; ++tid) {
+        const Dim3 thread_idx{tid % cfg.block.x,
+                              (tid / cfg.block.x) % cfg.block.y,
+                              tid / (cfg.block.x * cfg.block.y)};
+        detail::LaneTrace* trace =
+            sampled ? &recorder.lane(tid / 32, tid % 32) : nullptr;
+        ThreadCtx ctx(cfg.grid, cfg.block, block_idx, thread_idx, gmem, smem,
+                      stats.counters, trace);
+        kernel.run_phase(phase, ctx);
+        lane_ops[tid] = ctx.lane_ops();
+      }
+
+      // SIMT issue accounting: a warp issues max-over-lanes instructions.
+      for (std::uint32_t w = 0; w < num_warps; ++w) {
+        const std::uint32_t lo = w * 32, hi = std::min(lo + 32, tpb);
+        std::uint64_t mx = 0, mn = ~std::uint64_t{0}, sum = 0;
+        for (std::uint32_t t = lo; t < hi; ++t) {
+          mx = std::max(mx, lane_ops[t]);
+          mn = std::min(mn, lane_ops[t]);
+          sum += lane_ops[t];
+        }
+        stats.counters.warp_instructions += mx;
+        stats.counters.thread_instructions += sum;
+        stats.counters.warp_phases += 1;
+        if (mx != mn) stats.counters.divergent_warp_phases += 1;
+      }
+      if (phase + 1 < info.num_phases) stats.counters.barriers += 1;
+
+      if (sampled) {
+        recorder.analyze_phase(stats.gmem_load_coalescing,
+                               stats.gmem_store_coalescing,
+                               stats.shared_requests_sampled,
+                               stats.shared_serialization_sampled);
+        if (opts.detect_shared_races)
+          stats.shared_race_hazards += recorder.count_shared_races();
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,36 @@
+#pragma once
+// Grid execution for the SIMT simulator.
+//
+// run_kernel executes a kernel functionally (bit-exact results in
+// GlobalMemory) while accounting instructions, memory traffic, SIMT
+// divergence, and — on sampled blocks — full CC 1.3 coalescing and shared
+// memory bank behaviour. Execution is sequential and deterministic:
+// blocks in flat order, phases in order, threads in tid order.
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+#include "gpusim/kernel.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/stats.hpp"
+
+namespace gpusim {
+
+struct ExecutorOptions {
+  /// Detailed coalescing analysis runs on block 0 and every sample_stride-th
+  /// block thereafter. 1 = analyze every block (tests); 0 = never.
+  std::uint64_t sample_stride = 64;
+  /// On sampled blocks, also check each phase for intra-phase shared-memory
+  /// data races (a phase = code between __syncthreads, so cross-thread
+  /// write/read overlaps within it are races on real hardware).
+  bool detect_shared_races = true;
+};
+
+/// Validates the launch configuration against the device, runs the grid,
+/// and returns counters + sampled analysis + occupancy. Timing is filled in
+/// separately (see timing.hpp) so tests can check raw counters in isolation.
+KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
+                       GlobalMemory& gmem, const DeviceProperties& props,
+                       const ExecutorOptions& opts = {});
+
+}  // namespace gpusim

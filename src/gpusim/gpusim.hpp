@@ -1,0 +1,22 @@
+#pragma once
+// Umbrella header for the gpusim SIMT GPU simulator.
+//
+// gpusim executes CUDA-style kernels functionally on the host while
+// modeling a GT200-class device (Tesla T10): warp-granular SIMT issue,
+// CC 1.3 global-memory coalescing, shared memory with bank conflicts,
+// occupancy, an analytic roofline timing model, and a PCIe transfer model.
+// See DESIGN.md §2 for why this substitutes for the paper's physical GPU.
+
+#include "gpusim/coalescing.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_context.hpp"
+#include "gpusim/dim3.hpp"
+#include "gpusim/error.hpp"
+#include "gpusim/executor.hpp"
+#include "gpusim/kernel.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/occupancy.hpp"
+#include "gpusim/shared_memory.hpp"
+#include "gpusim/stats.hpp"
+#include "gpusim/stream.hpp"
+#include "gpusim/timing.hpp"

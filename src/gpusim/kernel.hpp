@@ -1,0 +1,241 @@
+#pragma once
+// Kernel authoring interface for the SIMT simulator.
+//
+// Simulated kernels are PHASE-STRUCTURED: the executor calls
+// run_phase(p, ctx) for every thread of a block before moving to phase
+// p+1, which gives every phase boundary the semantics of __syncthreads().
+// This models barrier-synchronized CUDA kernels deterministically and
+// cheaply (no per-thread stacks). A kernel with no internal barrier is
+// simply a single phase.
+//
+// All device state lives in GlobalMemory / SharedMemory, never in the
+// kernel object, so run_phase is const and threads communicate exactly the
+// way CUDA threads do.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+#include <bit>
+
+#include "gpusim/dim3.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/shared_memory.hpp"
+#include "gpusim/stats.hpp"
+
+namespace gpusim {
+
+namespace detail {
+
+/// Per-lane access trace for one phase of one sampled block.
+struct LaneTrace {
+  std::vector<std::uint64_t> load_addr;
+  std::vector<std::uint32_t> load_size;
+  std::vector<std::uint64_t> store_addr;
+  std::vector<std::uint32_t> store_size;
+  std::vector<std::uint64_t> shared_addr;   // loads+stores, bank analysis
+  std::vector<std::uint64_t> shared_w_addr;  // stores only, race analysis
+  std::vector<std::uint32_t> shared_w_size;
+  std::vector<std::uint64_t> shared_r_addr;  // loads only, race analysis
+  std::vector<std::uint32_t> shared_r_size;
+
+  void clear() {
+    load_addr.clear();
+    load_size.clear();
+    store_addr.clear();
+    store_size.clear();
+    shared_addr.clear();
+    shared_w_addr.clear();
+    shared_w_size.clear();
+    shared_r_addr.clear();
+    shared_r_size.clear();
+  }
+};
+
+/// Collects the full access trace of one block so the CC 1.3 coalescing
+/// protocol can be replayed per warp request. Lanes of a warp are assumed
+/// to execute the same access sequence (lockstep); the i-th access of each
+/// lane forms warp request i. Divergent lanes simply have shorter
+/// sequences, which yields the extra transactions divergence costs.
+class BlockRecorder {
+ public:
+  void begin_phase(std::uint32_t num_warps) {
+    traces_.resize(num_warps);
+    for (auto& warp : traces_)
+      for (auto& lane : warp) lane.clear();
+  }
+
+  LaneTrace& lane(std::uint32_t warp, std::uint32_t lane_id) {
+    return traces_[warp][lane_id];
+  }
+
+  /// Replays the recorded phase through the coalescing/bank models.
+  void analyze_phase(MemoryAccessStats& loads, MemoryAccessStats& stores,
+                     std::uint64_t& shared_requests,
+                     std::uint64_t& shared_serialization) const;
+
+  /// Intra-phase shared-memory race check: a phase has the semantics of
+  /// code between two __syncthreads(), so a byte WRITTEN by one thread and
+  /// READ or WRITTEN by a different thread within the same phase is a data
+  /// race on real hardware. Returns the number of hazardous byte overlaps
+  /// found in the recorded phase (0 = race-free).
+  [[nodiscard]] std::uint64_t count_shared_races() const;
+
+ private:
+  std::vector<std::array<LaneTrace, 32>> traces_;
+};
+
+}  // namespace detail
+
+/// Per-thread execution context: geometry, device memory, and counters.
+/// Every architectural operation a kernel performs goes through this class
+/// so the simulator can account for it.
+class ThreadCtx {
+ public:
+  ThreadCtx(Dim3 grid_dim, Dim3 block_dim, Dim3 block_idx, Dim3 thread_idx,
+            GlobalMemory& gmem, SharedMemory& smem, KernelCounters& counters,
+            detail::LaneTrace* trace)
+      : grid_dim_(grid_dim),
+        block_dim_(block_dim),
+        block_idx_(block_idx),
+        thread_idx_(thread_idx),
+        gmem_(&gmem),
+        smem_(&smem),
+        counters_(&counters),
+        trace_(trace) {
+    flat_tid_ = thread_idx.x + block_dim.x * (thread_idx.y + static_cast<std::uint64_t>(block_dim.y) * thread_idx.z);
+  }
+
+  // --- geometry (CUDA vocabulary) ---
+  [[nodiscard]] Dim3 grid_dim() const { return grid_dim_; }
+  [[nodiscard]] Dim3 block_dim() const { return block_dim_; }
+  [[nodiscard]] Dim3 block_idx() const { return block_idx_; }
+  [[nodiscard]] Dim3 thread_idx() const { return thread_idx_; }
+  [[nodiscard]] std::uint32_t flat_tid() const {
+    return static_cast<std::uint32_t>(flat_tid_);
+  }
+  [[nodiscard]] std::uint32_t lane_id() const {
+    return static_cast<std::uint32_t>(flat_tid_ % 32);
+  }
+  [[nodiscard]] std::uint32_t warp_id() const {
+    return static_cast<std::uint32_t>(flat_tid_ / 32);
+  }
+  [[nodiscard]] std::uint64_t flat_block_idx() const {
+    return block_idx_.x + grid_dim_.x * (block_idx_.y + static_cast<std::uint64_t>(grid_dim_.y) * block_idx_.z);
+  }
+
+  // --- global memory ---
+  template <typename T>
+  [[nodiscard]] T ld_global(DevicePtr<T> p, std::uint64_t i = 0) {
+    const std::uint64_t a = p.byte_of(i);
+    counters_->global_loads += 1;
+    counters_->global_load_bytes += sizeof(T);
+    lane_ops_ += 1;
+    if (trace_) {
+      trace_->load_addr.push_back(a);
+      trace_->load_size.push_back(sizeof(T));
+    }
+    return gmem_->load<T>(a);
+  }
+
+  template <typename T>
+  void st_global(DevicePtr<T> p, std::uint64_t i, T v) {
+    const std::uint64_t a = p.byte_of(i);
+    counters_->global_stores += 1;
+    counters_->global_store_bytes += sizeof(T);
+    lane_ops_ += 1;
+    if (trace_) {
+      trace_->store_addr.push_back(a);
+      trace_->store_size.push_back(sizeof(T));
+    }
+    gmem_->store<T>(a, v);
+  }
+
+  // --- shared memory (byte-addressed, like extern __shared__) ---
+  template <typename T>
+  [[nodiscard]] T ld_shared(std::size_t byte_offset) {
+    counters_->shared_loads += 1;
+    lane_ops_ += 1;
+    if (trace_) {
+      trace_->shared_addr.push_back(byte_offset);
+      trace_->shared_r_addr.push_back(byte_offset);
+      trace_->shared_r_size.push_back(sizeof(T));
+    }
+    return smem_->load<T>(byte_offset);
+  }
+
+  template <typename T>
+  void st_shared(std::size_t byte_offset, T v) {
+    counters_->shared_stores += 1;
+    lane_ops_ += 1;
+    if (trace_) {
+      trace_->shared_addr.push_back(byte_offset);
+      trace_->shared_w_addr.push_back(byte_offset);
+      trace_->shared_w_size.push_back(sizeof(T));
+    }
+    smem_->store<T>(byte_offset, v);
+  }
+
+  /// CUDA atomicAdd on global memory (GT200: one RMW transaction per lane;
+  /// lanes of a warp hitting the SAME address serialize). Returns the old
+  /// value, like the hardware instruction.
+  std::uint32_t atomic_add_global(DevicePtr<std::uint32_t> p, std::uint64_t i,
+                                  std::uint32_t v) {
+    const std::uint64_t a = p.byte_of(i);
+    counters_->global_atomics += 1;
+    // An atomic is a read-modify-write: charge both directions.
+    counters_->global_load_bytes += 4;
+    counters_->global_store_bytes += 4;
+    lane_ops_ += 2;
+    if (trace_) {
+      trace_->load_addr.push_back(a);
+      trace_->load_size.push_back(4);
+      trace_->store_addr.push_back(a);
+      trace_->store_size.push_back(4);
+    }
+    const auto old = gmem_->load<std::uint32_t>(a);
+    gmem_->store<std::uint32_t>(a, old + v);
+    return old;
+  }
+
+  // --- ALU accounting and intrinsics ---
+  /// Charges `n` arithmetic/control instructions to this lane. Kernels call
+  /// this for the work the simulator cannot see (index math, compares).
+  void alu(std::uint64_t n = 1) { lane_ops_ += n; }
+
+  /// CUDA __popc: population count, one instruction on GT200.
+  [[nodiscard]] std::uint32_t popc(std::uint32_t v) {
+    lane_ops_ += 1;
+    return static_cast<std::uint32_t>(std::popcount(v));
+  }
+
+  [[nodiscard]] std::uint64_t lane_ops() const { return lane_ops_; }
+
+ private:
+  Dim3 grid_dim_, block_dim_, block_idx_, thread_idx_;
+  GlobalMemory* gmem_;
+  SharedMemory* smem_;
+  KernelCounters* counters_;
+  detail::LaneTrace* trace_;
+  std::uint64_t flat_tid_ = 0;
+  std::uint64_t lane_ops_ = 0;
+};
+
+/// Static kernel metadata the executor and occupancy calculator need.
+struct KernelInfo {
+  std::uint32_t num_phases = 1;         ///< phase boundaries = __syncthreads
+  std::size_t static_shared_bytes = 0;  ///< __shared__ declarations
+  int regs_per_thread = 16;             ///< occupancy estimate
+};
+
+/// Base class for simulated kernels. Implementations keep no mutable state;
+/// everything flows through ThreadCtx and device memory.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual KernelInfo info(const LaunchConfig& cfg) const = 0;
+  virtual void run_phase(std::uint32_t phase, ThreadCtx& t) const = 0;
+};
+
+}  // namespace gpusim

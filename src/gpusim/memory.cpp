@@ -1,0 +1,79 @@
+#include "gpusim/memory.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace gpusim {
+namespace {
+
+std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) / a * a;
+}
+
+}  // namespace
+
+GlobalMemory::GlobalMemory(std::size_t capacity, bool strict)
+    : data_(capacity), strict_(strict) {
+  if (capacity == 0) throw SimError("GlobalMemory: zero capacity");
+}
+
+std::uint64_t GlobalMemory::alloc_bytes(std::size_t n, std::size_t alignment) {
+  if (n == 0) throw SimError("GlobalMemory::alloc: zero-size allocation");
+  if (alignment == 0 || (alignment & (alignment - 1)) != 0)
+    throw SimError("GlobalMemory::alloc: alignment must be a power of two");
+
+  // First-fit over the gaps between live blocks. Address 0 is reserved as
+  // the null handle, so the scan starts at `alignment` past 0.
+  std::uint64_t cursor = align_up(1, alignment);
+  for (const auto& [start, size] : blocks_) {
+    if (cursor + n <= start) break;  // gap before this block fits
+    cursor = std::max<std::uint64_t>(cursor, align_up(start + size, alignment));
+  }
+  if (cursor + n > data_.size()) {
+    throw SimError("GlobalMemory::alloc: out of device memory (requested " +
+                   std::to_string(n) + " B, in use " +
+                   std::to_string(bytes_in_use_) + " / " +
+                   std::to_string(data_.size()) + " B)");
+  }
+  blocks_.emplace(cursor, n);
+  bytes_in_use_ += n;
+  peak_bytes_in_use_ = std::max(peak_bytes_in_use_, bytes_in_use_);
+  return cursor;
+}
+
+void GlobalMemory::free_bytes(std::uint64_t addr) {
+  auto it = blocks_.find(addr);
+  if (it == blocks_.end())
+    throw SimError("GlobalMemory::free: unknown or already-freed pointer");
+  bytes_in_use_ -= it->second;
+  blocks_.erase(it);
+}
+
+void GlobalMemory::write_bytes(std::uint64_t addr, const void* src, std::size_t n) {
+  check(addr, n);
+  std::memcpy(data_.data() + addr, src, n);
+}
+
+void GlobalMemory::read_bytes(std::uint64_t addr, void* dst, std::size_t n) const {
+  check(addr, n);
+  std::memcpy(dst, data_.data() + addr, n);
+}
+
+void GlobalMemory::check(std::uint64_t addr, std::size_t n) const {
+  if (addr == 0 || addr + n > data_.size())
+    throw SimError("GlobalMemory: access out of arena bounds at address " +
+                   std::to_string(addr) + " size " + std::to_string(n));
+  if (!strict_) return;
+  // Strict mode: the access must lie fully inside one live allocation.
+  auto it = blocks_.upper_bound(addr);
+  if (it == blocks_.begin())
+    throw SimError("GlobalMemory(strict): access to unallocated address " +
+                   std::to_string(addr));
+  --it;
+  if (addr + n > it->first + it->second)
+    throw SimError("GlobalMemory(strict): access overruns allocation at " +
+                   std::to_string(it->first) + " (+" +
+                   std::to_string(it->second) + " B)");
+}
+
+}  // namespace gpusim

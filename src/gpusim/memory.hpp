@@ -1,0 +1,109 @@
+#pragma once
+// Simulated device global memory.
+//
+// GlobalMemory owns one contiguous byte arena standing in for the card's
+// DRAM. Allocations come from a first-fit free list (so per-level candidate
+// buffers can be released during mining, as cudaMalloc/cudaFree would be
+// used). DevicePtr<T> is a typed byte offset into the arena — deliberately
+// NOT a host pointer, so host code cannot dereference device data without
+// going through an explicit copy, mirroring the CUDA discipline.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "gpusim/error.hpp"
+
+namespace gpusim {
+
+/// Typed handle to device memory: a byte address within the GlobalMemory
+/// arena. Address 0 is reserved as the null handle (the arena's first
+/// allocation starts past it).
+template <typename T>
+struct DevicePtr {
+  std::uint64_t addr = 0;
+
+  [[nodiscard]] constexpr bool is_null() const { return addr == 0; }
+  [[nodiscard]] constexpr DevicePtr<T> operator+(std::uint64_t n) const {
+    return DevicePtr<T>{addr + n * sizeof(T)};
+  }
+  /// Byte address of element `i`.
+  [[nodiscard]] constexpr std::uint64_t byte_of(std::uint64_t i) const {
+    return addr + i * sizeof(T);
+  }
+  /// Reinterpret as a different element type (address is preserved).
+  template <typename U>
+  [[nodiscard]] constexpr DevicePtr<U> cast() const {
+    return DevicePtr<U>{addr};
+  }
+  friend constexpr bool operator==(const DevicePtr&, const DevicePtr&) = default;
+};
+
+class GlobalMemory {
+ public:
+  /// Creates an arena of `capacity` bytes. `strict` enables per-access
+  /// allocated-block validation (used by the tests; benches leave it off and
+  /// only get arena-bounds checking).
+  explicit GlobalMemory(std::size_t capacity, bool strict = false);
+
+  GlobalMemory(const GlobalMemory&) = delete;
+  GlobalMemory& operator=(const GlobalMemory&) = delete;
+
+  /// Allocates `count` elements of T aligned to `alignment` bytes.
+  /// Throws SimError when the arena is exhausted.
+  template <typename T>
+  DevicePtr<T> alloc(std::size_t count, std::size_t alignment = alignof(T)) {
+    return DevicePtr<T>{alloc_bytes(count * sizeof(T), alignment)};
+  }
+
+  /// Releases an allocation previously returned by alloc(). Throws on
+  /// double-free or a pointer that was never allocated.
+  template <typename T>
+  void free(DevicePtr<T> p) {
+    free_bytes(p.addr);
+  }
+
+  /// Host-side raw access for transfers (Device::memcpy_* uses these).
+  void write_bytes(std::uint64_t addr, const void* src, std::size_t n);
+  void read_bytes(std::uint64_t addr, void* dst, std::size_t n) const;
+
+  /// Functional load/store used by the executor. Arena-bounds checked;
+  /// additionally block-checked in strict mode.
+  template <typename T>
+  [[nodiscard]] T load(std::uint64_t addr) const {
+    check(addr, sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + addr, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void store(std::uint64_t addr, T v) {
+    check(addr, sizeof(T));
+    std::memcpy(data_.data() + addr, &v, sizeof(T));
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return data_.size(); }
+  [[nodiscard]] std::size_t bytes_in_use() const { return bytes_in_use_; }
+  [[nodiscard]] std::size_t peak_bytes_in_use() const { return peak_bytes_in_use_; }
+  [[nodiscard]] std::size_t allocation_count() const { return blocks_.size(); }
+  [[nodiscard]] bool strict() const { return strict_; }
+
+ private:
+  std::uint64_t alloc_bytes(std::size_t n, std::size_t alignment);
+  void free_bytes(std::uint64_t addr);
+  void check(std::uint64_t addr, std::size_t n) const;
+
+  std::vector<std::byte> data_;
+  // Live allocations: start address -> size. Free regions are derived by
+  // first-fit scan between live blocks; with at most a few dozen live
+  // allocations during mining this is plenty fast and trivially correct.
+  std::map<std::uint64_t, std::size_t> blocks_;
+  std::size_t bytes_in_use_ = 0;
+  std::size_t peak_bytes_in_use_ = 0;
+  bool strict_ = false;
+};
+
+}  // namespace gpusim

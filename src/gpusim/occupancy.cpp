@@ -1,0 +1,79 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "gpusim/error.hpp"
+
+namespace gpusim {
+namespace {
+
+std::size_t round_up(std::size_t v, std::size_t g) {
+  return g == 0 ? v : (v + g - 1) / g * g;
+}
+
+}  // namespace
+
+std::string_view to_string(OccupancyLimiter l) {
+  switch (l) {
+    case OccupancyLimiter::kThreads: return "threads";
+    case OccupancyLimiter::kBlocks: return "blocks";
+    case OccupancyLimiter::kSharedMemory: return "shared-memory";
+    case OccupancyLimiter::kRegisters: return "registers";
+  }
+  return "?";
+}
+
+OccupancyResult compute_occupancy(const DeviceProperties& props,
+                                  std::uint32_t threads_per_block,
+                                  std::size_t shared_bytes_per_block,
+                                  int regs_per_thread) {
+  if (threads_per_block == 0)
+    throw SimError("occupancy: block has zero threads");
+  if (threads_per_block > static_cast<std::uint32_t>(props.max_threads_per_block))
+    throw SimError("occupancy: " + std::to_string(threads_per_block) +
+                   " threads/block exceeds device limit " +
+                   std::to_string(props.max_threads_per_block));
+  if (shared_bytes_per_block > props.shared_mem_per_sm)
+    throw SimError("occupancy: block shared memory exceeds SM capacity");
+
+  // Warps are allocated whole.
+  const int warps_per_block = static_cast<int>(
+      (threads_per_block + static_cast<std::uint32_t>(props.warp_size) - 1) /
+      static_cast<std::uint32_t>(props.warp_size));
+
+  const int by_threads = props.max_warps_per_sm / warps_per_block;
+  const int by_blocks = props.max_blocks_per_sm;
+
+  const std::size_t smem = round_up(std::max<std::size_t>(shared_bytes_per_block, 1),
+                                    props.shared_mem_alloc_granularity);
+  const int by_shared = static_cast<int>(props.shared_mem_per_sm / smem);
+
+  const std::size_t regs_per_block = round_up(
+      static_cast<std::size_t>(std::max(regs_per_thread, 1)) *
+          static_cast<std::size_t>(warps_per_block) *
+          static_cast<std::size_t>(props.warp_size),
+      static_cast<std::size_t>(props.register_alloc_granularity));
+  const int by_regs =
+      static_cast<int>(static_cast<std::size_t>(props.registers_per_sm) /
+                       regs_per_block);
+
+  OccupancyResult r;
+  r.blocks_per_sm = std::min({by_threads, by_blocks, by_shared, by_regs});
+  if (r.blocks_per_sm <= 0)
+    throw SimError("occupancy: block footprint too large for any residency");
+
+  if (r.blocks_per_sm == by_threads) r.limiter = OccupancyLimiter::kThreads;
+  if (r.blocks_per_sm == by_blocks) r.limiter = OccupancyLimiter::kBlocks;
+  if (r.blocks_per_sm == by_shared) r.limiter = OccupancyLimiter::kSharedMemory;
+  if (r.blocks_per_sm == by_regs) r.limiter = OccupancyLimiter::kRegisters;
+
+  r.active_warps_per_sm = r.blocks_per_sm * warps_per_block;
+  r.active_threads_per_sm =
+      r.blocks_per_sm * static_cast<int>(threads_per_block);
+  r.occupancy = static_cast<double>(r.active_warps_per_sm) /
+                static_cast<double>(props.max_warps_per_sm);
+  return r;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,37 @@
+#pragma once
+// CUDA-style occupancy calculation for the simulated device.
+//
+// Given a block's resource footprint (threads, shared memory, registers),
+// computes how many blocks fit on one SM and which resource limits it —
+// the same arithmetic as the CUDA occupancy calculator spreadsheet for
+// compute capability 1.3.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "gpusim/device.hpp"
+
+namespace gpusim {
+
+enum class OccupancyLimiter { kThreads, kBlocks, kSharedMemory, kRegisters };
+
+[[nodiscard]] std::string_view to_string(OccupancyLimiter l);
+
+struct OccupancyResult {
+  int blocks_per_sm = 0;
+  int active_warps_per_sm = 0;
+  int active_threads_per_sm = 0;
+  double occupancy = 0.0;  ///< active warps / max warps per SM
+  OccupancyLimiter limiter = OccupancyLimiter::kThreads;
+};
+
+/// Computes occupancy for a block shape. Throws SimError for configurations
+/// that cannot launch at all (0 threads, too many threads per block, block
+/// shared memory exceeding the SM).
+OccupancyResult compute_occupancy(const DeviceProperties& props,
+                                  std::uint32_t threads_per_block,
+                                  std::size_t shared_bytes_per_block,
+                                  int regs_per_thread);
+
+}  // namespace gpusim

@@ -1,0 +1,28 @@
+#include "gpusim/stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace gpusim {
+
+std::string KernelStats::summary() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << kernel_name << " <<<" << config.num_blocks() << ", "
+     << config.threads_per_block() << ">>> "
+     << timing.total_ns / 1e3 << " us"
+     << " (compute " << timing.compute_ns / 1e3 << " us, memory "
+     << timing.memory_ns / 1e3 << " us)"
+     << " | occ " << std::setprecision(0) << occupancy.occupancy * 100 << "%"
+     << " (" << to_string(occupancy.limiter) << "-limited)"
+     << std::setprecision(2)
+     << " | warp instr " << static_cast<double>(counters.warp_instructions)
+     << " | simt eff " << counters.simt_efficiency() * 100 << "%"
+     << " | ld eff " << (gmem_load_coalescing.requests
+                             ? gmem_load_coalescing.efficiency() * 100
+                             : 100.0)
+     << "% | dram " << timing.dram_bytes / 1e6 << " MB";
+  return os.str();
+}
+
+}  // namespace gpusim

@@ -1,0 +1,119 @@
+#pragma once
+// Execution statistics gathered by the simulator.
+//
+// Two tiers, chosen for simulation speed:
+//  * KernelCounters — exact, cheap totals maintained for EVERY thread of
+//    every block (instruction counts, access counts/bytes, exact SIMT warp
+//    issue counts including divergence serialization).
+//  * Sampled coalescing/bank-conflict analysis — the full CC 1.3 protocol is
+//    run only on a deterministic subset of blocks (block 0 plus every Nth),
+//    the way a hardware profiler samples; the timing model extrapolates the
+//    sampled overfetch ratio to the exact byte totals.
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/coalescing.hpp"
+#include "gpusim/dim3.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace gpusim {
+
+/// Exact per-launch totals (maintained for every block).
+struct KernelCounters {
+  std::uint64_t global_loads = 0;
+  std::uint64_t global_stores = 0;
+  std::uint64_t global_atomics = 0;  ///< read-modify-write transactions
+  std::uint64_t global_load_bytes = 0;
+  std::uint64_t global_store_bytes = 0;
+  std::uint64_t shared_loads = 0;
+  std::uint64_t shared_stores = 0;
+  std::uint64_t thread_instructions = 0;  ///< sum of per-lane ops
+  std::uint64_t warp_instructions = 0;    ///< sum over (warp,phase) of max lane ops
+  std::uint64_t warp_phases = 0;          ///< warp-phase executions
+  std::uint64_t divergent_warp_phases = 0;  ///< warp phases with uneven lane ops
+  std::uint64_t barriers = 0;             ///< block-wide __syncthreads events
+  std::uint64_t blocks = 0;
+  std::uint64_t threads = 0;
+
+  void merge(const KernelCounters& o) {
+    global_loads += o.global_loads;
+    global_stores += o.global_stores;
+    global_atomics += o.global_atomics;
+    global_load_bytes += o.global_load_bytes;
+    global_store_bytes += o.global_store_bytes;
+    shared_loads += o.shared_loads;
+    shared_stores += o.shared_stores;
+    thread_instructions += o.thread_instructions;
+    warp_instructions += o.warp_instructions;
+    warp_phases += o.warp_phases;
+    divergent_warp_phases += o.divergent_warp_phases;
+    barriers += o.barriers;
+    blocks += o.blocks;
+    threads += o.threads;
+  }
+
+  /// SIMT efficiency: useful lane work over issued lane slots.
+  [[nodiscard]] double simt_efficiency() const {
+    return warp_instructions == 0
+               ? 1.0
+               : static_cast<double>(thread_instructions) /
+                     (static_cast<double>(warp_instructions) * 32.0);
+  }
+};
+
+/// Timing estimate with its components (see timing.hpp for the model).
+struct TimingBreakdown {
+  double compute_ns = 0;
+  double memory_ns = 0;
+  double launch_overhead_ns = 0;
+  double total_ns = 0;
+  double dram_bytes = 0;              ///< modeled DRAM traffic
+  double effective_bandwidth_gbps = 0;
+  int effective_sms = 0;
+};
+
+/// Everything the simulator knows about one kernel launch.
+struct KernelStats {
+  std::string kernel_name;
+  LaunchConfig config;
+  KernelCounters counters;
+
+  // Sampled detailed analysis.
+  MemoryAccessStats gmem_load_coalescing;
+  MemoryAccessStats gmem_store_coalescing;
+  std::uint64_t sampled_blocks = 0;
+  std::uint64_t shared_requests_sampled = 0;
+  std::uint64_t shared_serialization_sampled = 0;  ///< >= 2x requests means conflicts
+  /// Intra-phase shared-memory data races found on sampled blocks (byte
+  /// overlaps between different threads without an intervening barrier).
+  /// Non-zero means the kernel is incorrect on real hardware even if the
+  /// sequential simulation produced the right answer.
+  std::uint64_t shared_race_hazards = 0;
+
+  OccupancyResult occupancy;
+  TimingBreakdown timing;
+
+  /// Best-estimate DRAM overfetch: sampled ratio when available, else 1.
+  [[nodiscard]] double load_overfetch() const {
+    return gmem_load_coalescing.requests ? gmem_load_coalescing.overfetch() : 1.0;
+  }
+  [[nodiscard]] double store_overfetch() const {
+    return gmem_store_coalescing.requests ? gmem_store_coalescing.overfetch()
+                                          : 1.0;
+  }
+  /// Average shared-memory replay factor (1.0 = conflict-free).
+  [[nodiscard]] double shared_replay_factor() const {
+    // Conflict-free cost is one cycle per half-warp request; the analyzer
+    // reports serialization summed over both half-warps per warp request.
+    return shared_requests_sampled == 0
+               ? 1.0
+               : static_cast<double>(shared_serialization_sampled) /
+                     (2.0 * static_cast<double>(shared_requests_sampled));
+  }
+
+  /// Human-readable one-launch profile, nvprof flavored.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace gpusim

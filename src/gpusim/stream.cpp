@@ -1,0 +1,53 @@
+#include "gpusim/stream.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace gpusim {
+
+Timeline::Timeline(std::size_t num_streams) : stream_free_(num_streams, 0.0) {
+  if (num_streams == 0) throw SimError("Timeline: need at least one stream");
+}
+
+double Timeline::schedule(StreamId s, double& engine_free,
+                          double duration_ns) {
+  if (s >= stream_free_.size())
+    throw SimError("Timeline: stream " + std::to_string(s) + " out of range");
+  if (duration_ns < 0) throw SimError("Timeline: negative duration");
+  const double start = std::max(stream_free_[s], engine_free);
+  const double end = start + duration_ns;
+  stream_free_[s] = end;
+  engine_free = end;
+  horizon_ = std::max(horizon_, end);
+  return end;
+}
+
+double Timeline::schedule_copy(StreamId s, double duration_ns) {
+  return schedule(s, copy_engine_free_, duration_ns);
+}
+
+double Timeline::schedule_kernel(StreamId s, double duration_ns) {
+  return schedule(s, compute_engine_free_, duration_ns);
+}
+
+double Timeline::sync() {
+  for (double& t : stream_free_) t = horizon_;
+  copy_engine_free_ = horizon_;
+  compute_engine_free_ = horizon_;
+  return horizon_;
+}
+
+double Timeline::stream_time(StreamId s) const {
+  if (s >= stream_free_.size())
+    throw SimError("Timeline: stream " + std::to_string(s) + " out of range");
+  return stream_free_[s];
+}
+
+void Timeline::reset() {
+  std::fill(stream_free_.begin(), stream_free_.end(), 0.0);
+  copy_engine_free_ = 0;
+  compute_engine_free_ = 0;
+  horizon_ = 0;
+}
+
+}  // namespace gpusim

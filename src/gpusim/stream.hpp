@@ -1,0 +1,56 @@
+#pragma once
+// Streams and copy/compute overlap — the CUDA 2.x asynchrony model.
+//
+// GT200-class devices have exactly ONE DMA (copy) engine and ONE compute
+// engine; kernels never run concurrently with each other (no concurrent
+// kernels until Fermi), but a copy in one stream can overlap a kernel in
+// another. Timeline schedules operations under those constraints: an
+// operation starts when both its stream and its engine become free, and
+// the device's asynchronous wall-clock is the horizon over all engines.
+//
+// The functional side of async operations still executes immediately and
+// sequentially (the simulator is single-threaded and deterministic); only
+// the TIMING is scheduled. Callers must therefore order their async calls
+// the way a correct CUDA program would — the simulator models when work
+// would finish, not out-of-order data flow.
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/error.hpp"
+
+namespace gpusim {
+
+using StreamId = std::uint32_t;
+
+class Timeline {
+ public:
+  explicit Timeline(std::size_t num_streams = 8);
+
+  [[nodiscard]] std::size_t num_streams() const { return stream_free_.size(); }
+
+  /// Schedules a host<->device transfer of `duration_ns` on stream `s`;
+  /// returns its completion time (ns since reset).
+  double schedule_copy(StreamId s, double duration_ns);
+  /// Schedules a kernel of `duration_ns` on stream `s`.
+  double schedule_kernel(StreamId s, double duration_ns);
+
+  /// Blocks (notionally) until everything completes; returns the horizon.
+  double sync();
+
+  /// Completion time of the latest operation in stream `s`.
+  [[nodiscard]] double stream_time(StreamId s) const;
+  [[nodiscard]] double horizon() const { return horizon_; }
+
+  void reset();
+
+ private:
+  double schedule(StreamId s, double& engine_free, double duration_ns);
+
+  std::vector<double> stream_free_;
+  double copy_engine_free_ = 0;
+  double compute_engine_free_ = 0;
+  double horizon_ = 0;
+};
+
+}  // namespace gpusim

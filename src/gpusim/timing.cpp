@@ -1,0 +1,69 @@
+#include "gpusim/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpusim {
+
+TimingBreakdown estimate_kernel_time(const KernelStats& stats,
+                                     const DeviceProperties& props) {
+  TimingBreakdown t;
+  const auto& c = stats.counters;
+  const std::uint64_t blocks = c.blocks;
+
+  // How many SMs actually have work: with fewer blocks than SMs, the rest
+  // of the chip idles.
+  const int bps = std::max(1, stats.occupancy.blocks_per_sm);
+  t.effective_sms = static_cast<int>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(props.sm_count),
+      (blocks + static_cast<std::uint64_t>(bps) - 1) /
+          static_cast<std::uint64_t>(bps)));
+  t.effective_sms = std::max(
+      1, std::min(t.effective_sms, static_cast<int>(blocks)));
+
+  // --- compute side ---
+  // Shared-memory bank conflicts replay the conflicting warp instruction;
+  // charge the sampled replay factor against the shared-access fraction of
+  // the instruction stream.
+  const double shared_accesses =
+      static_cast<double>(c.shared_loads + c.shared_stores);
+  const double replay_extra =
+      (stats.shared_replay_factor() - 1.0) * shared_accesses / 32.0;
+  const double warp_instr =
+      static_cast<double>(c.warp_instructions) + std::max(0.0, replay_extra);
+
+  const double cycles = warp_instr * props.cycles_per_warp_instruction();
+  t.compute_ns = cycles / (static_cast<double>(t.effective_sms) *
+                           props.core_clock_ghz);
+
+  // --- memory side ---
+  const double req_bytes =
+      static_cast<double>(c.global_load_bytes) * stats.load_overfetch() +
+      static_cast<double>(c.global_store_bytes) * stats.store_overfetch();
+  t.dram_bytes = req_bytes;
+
+  // Latency hiding: GT200 needs on the order of 16 resident warps per SM to
+  // cover DRAM latency; below that, achievable bandwidth falls roughly
+  // linearly. Floor of 0.15 models the single-warp worst case.
+  const double hiding = std::clamp(
+      static_cast<double>(stats.occupancy.active_warps_per_sm) / 16.0, 0.15,
+      1.0);
+  // Fewer busy SMs also cannot saturate the DRAM channels.
+  const double sm_frac = std::min(
+      1.0, static_cast<double>(t.effective_sms) /
+               std::max(1.0, static_cast<double>(props.sm_count) * 0.5));
+  t.effective_bandwidth_gbps = props.mem_bandwidth_gbps * hiding * sm_frac;
+  // 1 GB/s == 1 byte/ns, so ns = bytes / GB/s.
+  t.memory_ns = req_bytes / t.effective_bandwidth_gbps;
+
+  t.launch_overhead_ns = props.kernel_launch_us * 1000.0;
+  t.total_ns = t.launch_overhead_ns + std::max(t.compute_ns, t.memory_ns);
+  return t;
+}
+
+double estimate_transfer_ns(std::size_t bytes, const DeviceProperties& props) {
+  return props.pcie_latency_us * 1000.0 +
+         static_cast<double>(bytes) / props.pcie_bandwidth_gbps;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,30 @@
+#pragma once
+// Analytic kernel timing model.
+//
+// The estimate follows the classic roofline decomposition used by GPU
+// performance models of the GT200 era (e.g. Hong & Kim, ISCA'09): a kernel
+// is bound either by instruction issue or by DRAM traffic, with occupancy
+// determining how much memory latency the SM can hide.
+//
+//   compute_ns = warp_instructions * cycles_per_warp_instruction
+//                  / (effective_SMs * clock)
+//   memory_ns  = modeled_dram_bytes / effective_bandwidth
+//   total      = launch_overhead + max(compute_ns, memory_ns)
+//
+// where modeled_dram_bytes applies the sampled coalescing overfetch ratio
+// to the exact requested-byte totals, and effective bandwidth degrades when
+// too few warps are resident to cover DRAM latency.
+
+#include "gpusim/device.hpp"
+#include "gpusim/stats.hpp"
+
+namespace gpusim {
+
+/// Fills a TimingBreakdown for a finished launch.
+TimingBreakdown estimate_kernel_time(const KernelStats& stats,
+                                     const DeviceProperties& props);
+
+/// Host<->device transfer estimate (PCIe model): latency + bytes/bandwidth.
+double estimate_transfer_ns(std::size_t bytes, const DeviceProperties& props);
+
+}  // namespace gpusim

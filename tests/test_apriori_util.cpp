@@ -1,0 +1,106 @@
+#include "baselines/apriori_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.hpp"
+
+namespace {
+
+using fim::Itemset;
+using miners::apriori_gen;
+using miners::ItemOrder;
+using miners::preprocess;
+
+TEST(AprioriGen, JoinsSharedPrefixes) {
+  // Classic textbook case: F3 = {123, 124, 134, 135, 234}.
+  std::vector<Itemset> f3{{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {1, 3, 5}, {2, 3, 4}};
+  std::sort(f3.begin(), f3.end());
+  const auto c4 = apriori_gen(f3);
+  // Join yields 1234 (from 123+124) and 1345 (from 134+135); prune kills
+  // 1345 because 145 and 345 are not frequent.
+  ASSERT_EQ(c4.size(), 1u);
+  EXPECT_EQ(c4[0], (Itemset{1, 2, 3, 4}));
+}
+
+TEST(AprioriGen, Level1ToLevel2IsAllPairs) {
+  std::vector<Itemset> f1{{0}, {1}, {2}};
+  const auto c2 = apriori_gen(f1);
+  EXPECT_EQ(c2.size(), 3u);  // no pruning possible at k=2
+}
+
+TEST(AprioriGen, EmptyInput) { EXPECT_TRUE(apriori_gen({}).empty()); }
+
+TEST(AprioriGen, NoJoinablePairs) {
+  std::vector<Itemset> f2{{0, 1}, {2, 3}};
+  EXPECT_TRUE(apriori_gen(f2).empty());
+}
+
+TEST(AprioriGen, CandidatesAreSupersetOfTrueFrequents) {
+  // Completeness: every frequent k-itemset must appear among candidates
+  // generated from the frequent (k-1)-itemsets.
+  const auto db = testutil::random_db(120, 9, 0.5, 21);
+  const auto frequent = testutil::brute_force(db, 30);
+  for (std::size_t k = 2; k <= frequent.max_size(); ++k) {
+    std::vector<Itemset> fk1, fk;
+    for (const auto& fs : frequent) {
+      if (fs.items.size() == k - 1) fk1.push_back(fs.items);
+      if (fs.items.size() == k) fk.push_back(fs.items);
+    }
+    std::sort(fk1.begin(), fk1.end());
+    const auto cands = apriori_gen(fk1);
+    for (const auto& f : fk)
+      EXPECT_NE(std::find(cands.begin(), cands.end(), f), cands.end())
+          << "missing " << f.to_string() << " at level " << k;
+  }
+}
+
+TEST(Preprocess, DropsInfrequentAndRemaps) {
+  const auto db = fim::TransactionDb::from_transactions(
+      {{0, 1, 2}, {1, 2}, {2, 5}, {1}});
+  // freq: 0->1, 1->3, 2->3, 5->1. min_count 2 keeps {1, 2}.
+  const auto pre = preprocess(db, 2, ItemOrder::kOriginal);
+  EXPECT_EQ(pre.original_item, (std::vector<fim::Item>{1, 2}));
+  EXPECT_EQ(pre.support, (std::vector<fim::Support>{3, 3}));
+  EXPECT_EQ(pre.db.num_transactions(), 4u);
+  EXPECT_EQ(pre.db.item_universe(), 2u);
+}
+
+TEST(Preprocess, AscendingFrequencyOrder) {
+  const auto db = fim::TransactionDb::from_transactions(
+      {{0, 1}, {1}, {1, 2}, {0, 1, 2}, {2}});
+  // freq: 0->2, 1->4, 2->3.
+  const auto pre = preprocess(db, 2, ItemOrder::kAscendingFreq);
+  EXPECT_EQ(pre.original_item, (std::vector<fim::Item>{0, 2, 1}));
+  EXPECT_EQ(pre.support, (std::vector<fim::Support>{2, 3, 4}));
+}
+
+TEST(Preprocess, DescendingFrequencyOrder) {
+  const auto db = fim::TransactionDb::from_transactions(
+      {{0, 1}, {1}, {1, 2}, {0, 1, 2}, {2}});
+  const auto pre = preprocess(db, 2, ItemOrder::kDescendingFreq);
+  EXPECT_EQ(pre.original_item, (std::vector<fim::Item>{1, 2, 0}));
+}
+
+TEST(Preprocess, TiesBrokenStably) {
+  const auto db =
+      fim::TransactionDb::from_transactions({{0, 1, 2}, {0, 1, 2}});
+  const auto pre = preprocess(db, 1, ItemOrder::kAscendingFreq);
+  EXPECT_EQ(pre.original_item, (std::vector<fim::Item>{0, 1, 2}));
+}
+
+TEST(Preprocess, SupportsAreConsistentWithRemappedDb) {
+  const auto db = testutil::random_db(80, 8, 0.4, 5);
+  const auto pre = preprocess(db, 20, ItemOrder::kAscendingFreq);
+  const auto freq = pre.db.item_frequencies();
+  for (fim::Item x = 0; x < pre.original_item.size(); ++x)
+    EXPECT_EQ(freq[x], pre.support[x]);
+}
+
+TEST(ToOriginal, TranslatesIds) {
+  const std::vector<fim::Item> orig{10, 20, 30};
+  EXPECT_EQ(miners::to_original(Itemset{0, 2}, orig), (Itemset{10, 30}));
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+#include "fim/bitset_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace {
+
+using fim::BitsetStore;
+using fim::Item;
+using fim::Tid;
+using fim::TransactionDb;
+
+TransactionDb fig2_db() {
+  return TransactionDb::from_transactions({
+      {1, 2, 3, 4, 5},
+      {2, 3, 4, 5, 6},
+      {3, 4, 6, 7},
+      {1, 3, 4, 5, 6},
+  });
+}
+
+TEST(BitsetStore, RowStrideIs64ByteAligned) {
+  // The paper's §IV.3 alignment requirement.
+  for (std::size_t bits : {1u, 31u, 32u, 33u, 511u, 512u, 513u, 100'000u}) {
+    const BitsetStore bs(3, bits);
+    EXPECT_EQ(bs.row_stride_words() % BitsetStore::kWordsPerAlign, 0u) << bits;
+    EXPECT_GE(bs.row_stride_words(), bs.words_per_row());
+  }
+}
+
+TEST(BitsetStore, SetTestRoundTrip) {
+  BitsetStore bs(2, 100);
+  bs.set_bit(0, 0);
+  bs.set_bit(0, 31);
+  bs.set_bit(0, 32);
+  bs.set_bit(1, 99);
+  EXPECT_TRUE(bs.test(0, 0));
+  EXPECT_TRUE(bs.test(0, 31));
+  EXPECT_TRUE(bs.test(0, 32));
+  EXPECT_FALSE(bs.test(0, 33));
+  EXPECT_TRUE(bs.test(1, 99));
+  EXPECT_FALSE(bs.test(1, 0));
+}
+
+TEST(BitsetStore, OutOfRangeThrows) {
+  BitsetStore bs(2, 100);
+  EXPECT_THROW(bs.set_bit(2, 0), std::out_of_range);
+  EXPECT_THROW(bs.set_bit(0, 100), std::out_of_range);
+  EXPECT_THROW((void)bs.test(0, 100), std::out_of_range);
+}
+
+TEST(BitsetStore, PaperFig2Bitsets) {
+  const auto db = fig2_db();
+  const std::vector<Item> items{1, 2, 3, 4, 5, 6, 7};
+  const auto bs = BitsetStore::from_db(db, items);
+  // Fig. 2B bitset column: item 1 -> 1001, item 2 -> 1100, item 3 -> 1111.
+  EXPECT_EQ(bs.row_tidset(0), (std::vector<Tid>{0, 3}));      // item 1
+  EXPECT_EQ(bs.row_tidset(1), (std::vector<Tid>{0, 1}));      // item 2
+  EXPECT_EQ(bs.row_tidset(2), (std::vector<Tid>{0, 1, 2, 3}));  // item 3
+  EXPECT_EQ(bs.row_tidset(6), (std::vector<Tid>{2}));         // item 7
+  EXPECT_EQ(bs.popcount_row(2), 4u);
+}
+
+TEST(BitsetStore, AndPopcountMatchesNaiveSupport) {
+  const auto db = testutil::random_db(200, 12, 0.4, 77);
+  std::vector<Item> items;
+  for (Item x = 0; x < 12; ++x) items.push_back(x);
+  const auto bs = BitsetStore::from_db(db, items);
+  // Every pair and a few triples.
+  for (std::uint32_t a = 0; a < 12; ++a) {
+    for (std::uint32_t b = a + 1; b < 12; ++b) {
+      const std::uint32_t rows2[] = {a, b};
+      EXPECT_EQ(bs.and_popcount(rows2),
+                testutil::naive_support(db, fim::Itemset{a, b}));
+      const std::uint32_t c = (a + b) % 12;
+      if (c != a && c != b) {
+        const std::uint32_t rows3[] = {a, b, c};
+        EXPECT_EQ(bs.and_popcount(rows3),
+                  testutil::naive_support(db, fim::Itemset{a, b, c}));
+      }
+    }
+  }
+}
+
+TEST(BitsetStore, AndPopcountSingleRowIsRowSupport) {
+  const auto db = testutil::random_db(100, 5, 0.5, 3);
+  std::vector<Item> items{0, 1, 2, 3, 4};
+  const auto bs = BitsetStore::from_db(db, items);
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    const std::uint32_t rows[] = {r};
+    EXPECT_EQ(bs.and_popcount(rows), bs.popcount_row(r));
+  }
+}
+
+TEST(BitsetStore, AndRowsMaterializesIntersection) {
+  BitsetStore bs(2, 70);
+  for (Tid t : {0u, 5u, 33u, 64u, 69u}) bs.set_bit(0, t);
+  for (Tid t : {5u, 33u, 40u, 69u}) bs.set_bit(1, t);
+  std::vector<BitsetStore::Word> out(bs.row_stride_words());
+  const std::uint32_t rows[] = {0, 1};
+  bs.and_rows(rows, out);
+  BitsetStore check = BitsetStore::from_tidsets({{5, 33, 69}}, 70);
+  for (std::size_t w = 0; w < bs.words_per_row(); ++w)
+    EXPECT_EQ(out[w], check.row(0)[w]);
+}
+
+TEST(BitsetStore, FromTidsetsRoundTrip) {
+  const std::vector<std::vector<Tid>> tidsets{{0, 64, 65}, {}, {1, 2, 3}};
+  const auto bs = BitsetStore::from_tidsets(tidsets, 66);
+  for (std::size_t r = 0; r < tidsets.size(); ++r)
+    EXPECT_EQ(bs.row_tidset(r), tidsets[r]);
+}
+
+TEST(BitsetStore, PaddingBitsStayZero) {
+  // Bits beyond num_bits within the stride must never be set, or popcounts
+  // would be wrong.
+  const auto db = testutil::random_db(33, 4, 0.9, 9);
+  std::vector<Item> items{0, 1, 2, 3};
+  const auto bs = BitsetStore::from_db(db, items);
+  for (std::size_t r = 0; r < 4; ++r) {
+    const auto row = bs.row(r);
+    // Word 1 holds bit 33..: only bit 32 (tid 32) may be set.
+    for (std::size_t w = 2; w < bs.row_stride_words(); ++w)
+      EXPECT_EQ(row[w], 0u);
+    EXPECT_EQ(row[1] & ~1u, 0u);
+  }
+}
+
+TEST(BitsetStore, ArenaLayoutMatchesRowAccessors) {
+  BitsetStore bs(3, 40);
+  bs.set_bit(2, 39);
+  const auto arena = bs.arena();
+  EXPECT_EQ(arena.size(), 3 * bs.row_stride_words());
+  EXPECT_EQ(arena[2 * bs.row_stride_words() + 1], bs.row(2)[1]);
+}
+
+TEST(BitsetStore, EmptyDatabaseRows) {
+  const auto db = TransactionDb::from_transactions({});
+  const auto bs = BitsetStore::from_db(db, std::vector<Item>{});
+  EXPECT_EQ(bs.rows(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+#include "fim/closed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace {
+
+using fim::condensation_stats;
+using fim::filter_closed;
+using fim::filter_maximal;
+using fim::Itemset;
+using fim::ItemsetCollection;
+
+// Textbook example: t1={a,b,c}, t2={a,b}, t3={a}.
+// Closed: {a}(3), {a,b}(2), {a,b,c}(1). Maximal: {a,b,c}.
+ItemsetCollection abc_chain() {
+  ItemsetCollection c;
+  c.add(Itemset{0}, 3);
+  c.add(Itemset{1}, 2);
+  c.add(Itemset{2}, 1);
+  c.add(Itemset{0, 1}, 2);
+  c.add(Itemset{0, 2}, 1);
+  c.add(Itemset{1, 2}, 1);
+  c.add(Itemset{0, 1, 2}, 1);
+  return c;
+}
+
+TEST(Closed, TextbookChain) {
+  const auto closed = filter_closed(abc_chain());
+  ASSERT_EQ(closed.size(), 3u);
+  EXPECT_EQ(closed.support_of(Itemset{0}), 3u);
+  EXPECT_EQ(closed.support_of(Itemset{0, 1}), 2u);
+  EXPECT_EQ(closed.support_of(Itemset{0, 1, 2}), 1u);
+  EXPECT_EQ(closed.support_of(Itemset{1}), std::nullopt);  // absorbed by 01
+}
+
+TEST(Maximal, TextbookChain) {
+  const auto maximal = filter_maximal(abc_chain());
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal.support_of(Itemset{0, 1, 2}), 1u);
+}
+
+TEST(Closed, SingletonsWithoutSupersetsAreClosed) {
+  ItemsetCollection c;
+  c.add(Itemset{3}, 5);
+  c.add(Itemset{7}, 2);
+  EXPECT_EQ(filter_closed(c).size(), 2u);
+  EXPECT_EQ(filter_maximal(c).size(), 2u);
+}
+
+TEST(Closed, EmptyCollection) {
+  EXPECT_TRUE(filter_closed(ItemsetCollection{}).empty());
+  EXPECT_TRUE(filter_maximal(ItemsetCollection{}).empty());
+}
+
+TEST(Closed, DefinitionHoldsOnRandomData) {
+  // Verify both filters against their definitions, element by element.
+  const auto db = testutil::random_db(120, 9, 0.5, 201);
+  auto all = testutil::brute_force(db, 12);
+  all.build_index();
+  const auto closed = filter_closed(all);
+  const auto maximal = filter_maximal(all);
+
+  for (const auto& fs : all) {
+    bool has_superset = false, has_equal = false;
+    for (const auto& other : all) {
+      if (other.items.size() <= fs.items.size()) continue;
+      if (!other.items.contains_all(fs.items)) continue;
+      has_superset = true;
+      if (other.support == fs.support) has_equal = true;
+    }
+    EXPECT_EQ(closed.support_of(fs.items).has_value(), !has_equal)
+        << fs.items.to_string();
+    EXPECT_EQ(maximal.support_of(fs.items).has_value(), !has_superset)
+        << fs.items.to_string();
+  }
+}
+
+TEST(Closed, CountsAreOrdered) {
+  const auto db = testutil::random_db(100, 8, 0.6, 202);
+  const auto all = testutil::brute_force(db, 10);
+  const auto s = condensation_stats(all);
+  EXPECT_EQ(s.all, all.size());
+  EXPECT_LE(s.maximal, s.closed);
+  EXPECT_LE(s.closed, s.all);
+  EXPECT_GT(s.maximal, 0u);
+  EXPECT_EQ(filter_closed(all).size(), s.closed);
+  EXPECT_EQ(filter_maximal(all).size(), s.maximal);
+}
+
+TEST(Closed, MaximalIsSubsetOfClosed) {
+  // Every maximal itemset is closed (no superset at all implies no
+  // equal-support superset).
+  const auto db = testutil::random_db(90, 10, 0.45, 203);
+  const auto all = testutil::brute_force(db, 9);
+  const auto closed = filter_closed(all);
+  for (const auto& fs : filter_maximal(all))
+    EXPECT_TRUE(closed.support_of(fs.items).has_value())
+        << fs.items.to_string();
+}
+
+TEST(Closed, CorrelatedDataCondenses) {
+  // The diagnostic use: correlated data (identical transaction clusters,
+  // like chess/pumsb) has markedly fewer closed sets than frequent sets,
+  // while independent random data barely condenses.
+  ItemsetCollection correlated;
+  {
+    // 30 copies of {0..5}, plus 10 transactions of {0,1}: every subset of
+    // {0..5} of size >= 1 containing neither 0 nor 1 has support exactly 30
+    // -> massive equal-support absorption.
+    std::vector<std::vector<fim::Item>> txs(30, {0, 1, 2, 3, 4, 5});
+    for (int i = 0; i < 10; ++i) txs.push_back({0, 1});
+    correlated = testutil::brute_force(
+        fim::TransactionDb::from_transactions(txs), 5);
+  }
+  const auto s = condensation_stats(correlated);
+  // Only {0,1} (40), {0..5} (30) and nothing else are closed.
+  EXPECT_EQ(s.closed, 2u);
+  EXPECT_EQ(s.maximal, 1u);
+  EXPECT_GT(s.all, 30u);
+}
+
+}  // namespace

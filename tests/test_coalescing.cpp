@@ -1,0 +1,181 @@
+#include "gpusim/coalescing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using gpusim::coalesce_cc13;
+using gpusim::shared_bank_serialization;
+using gpusim::Transaction;
+using gpusim::WarpRequest;
+
+WarpRequest full_warp_request(std::uint64_t base, std::uint64_t stride,
+                              std::uint32_t access_bytes) {
+  WarpRequest r;
+  r.access_bytes = access_bytes;
+  for (std::uint32_t l = 0; l < 32; ++l) {
+    r.addr[l] = base + l * stride;
+    r.active_mask |= (1u << l);
+  }
+  return r;
+}
+
+TEST(Coalescing, PerfectlyCoalesced4ByteAccesses) {
+  // Lanes 0..31 read consecutive 32-bit words from a 128B-aligned base:
+  // each half-warp's 64 bytes collapse to one 64 B transaction.
+  const auto res = coalesce_cc13(full_warp_request(256, 4, 4));
+  EXPECT_EQ(res.transactions, 2u);
+  EXPECT_EQ(res.bytes_transferred, 128u);
+  EXPECT_EQ(res.bytes_requested, 128u);
+}
+
+TEST(Coalescing, BroadcastSameWord) {
+  WarpRequest r;
+  r.access_bytes = 4;
+  for (std::uint32_t l = 0; l < 32; ++l) {
+    r.addr[l] = 512;  // every lane, same address
+    r.active_mask |= (1u << l);
+  }
+  const auto res = coalesce_cc13(r);
+  // One 32 B transaction per half-warp.
+  EXPECT_EQ(res.transactions, 2u);
+  EXPECT_EQ(res.bytes_transferred, 64u);
+}
+
+TEST(Coalescing, Stride2DoublesTraffic) {
+  // Half-warp spans 128 B -> one 128 B transaction, half of it wasted.
+  const auto res = coalesce_cc13(full_warp_request(0, 8, 4));
+  EXPECT_EQ(res.transactions, 2u);
+  EXPECT_EQ(res.bytes_transferred, 256u);
+  EXPECT_DOUBLE_EQ(static_cast<double>(res.bytes_transferred) /
+                       static_cast<double>(res.bytes_requested),
+                   2.0);
+}
+
+TEST(Coalescing, MisalignedAccessPattern) {
+  // Base offset 4: lanes 0..15 touch [4, 68) — inside one 128 B segment but
+  // not reducible to 64 B (straddles the 64 B split) -> one 128 B
+  // transaction. Lanes 16..30 touch [68, 128): upper half of the segment,
+  // so that transaction reduces to 64 B; lane 31's word at 128 needs a
+  // third (reduced to 32 B).
+  std::vector<Transaction> txs;
+  const auto res = coalesce_cc13(full_warp_request(4, 4, 4), &txs);
+  EXPECT_EQ(res.transactions, 3u);
+  ASSERT_EQ(txs.size(), 3u);
+  EXPECT_EQ(txs[0].segment_bytes, 128u);
+  EXPECT_EQ(txs[1].segment_bytes, 64u);
+  EXPECT_EQ(txs[1].segment_base, 64u);
+  EXPECT_EQ(txs[2].segment_bytes, 32u);
+  EXPECT_EQ(txs[2].segment_base, 128u);
+}
+
+TEST(Coalescing, CrossingSegmentBoundaryCostsExtraTransaction) {
+  // Lanes 0..15 at 96..159: spans two 128 B segments.
+  const auto res = coalesce_cc13(full_warp_request(96, 4, 4));
+  // Each half-warp: lanes split across two segments; the pieces reduce to
+  // 32 B where possible, but the transaction count is what matters here.
+  EXPECT_GT(res.transactions, 2u);
+}
+
+TEST(Coalescing, FullyScatteredWorstCase) {
+  WarpRequest r;
+  r.access_bytes = 4;
+  for (std::uint32_t l = 0; l < 32; ++l) {
+    r.addr[l] = 4096 + l * 1024;  // one segment each
+    r.active_mask |= (1u << l);
+  }
+  const auto res = coalesce_cc13(r);
+  EXPECT_EQ(res.transactions, 32u);
+  // Scattered single 4 B accesses reduce to 32 B segments.
+  EXPECT_EQ(res.bytes_transferred, 32u * 32u);
+}
+
+TEST(Coalescing, ByteAccessesUse32ByteSegments) {
+  const auto res = coalesce_cc13(full_warp_request(0, 1, 1));
+  // 16 lanes x 1 B = 16 B inside one aligned 32 B region per half-warp.
+  EXPECT_EQ(res.transactions, 2u);
+  EXPECT_EQ(res.bytes_transferred, 64u);
+  EXPECT_EQ(res.bytes_requested, 32u);
+}
+
+TEST(Coalescing, EightByteAccessesCoalesceTo128) {
+  const auto res = coalesce_cc13(full_warp_request(0, 8, 8));
+  // Half-warp: 16 x 8 B = 128 B aligned -> one 128 B transaction.
+  EXPECT_EQ(res.transactions, 2u);
+  EXPECT_EQ(res.bytes_transferred, 256u);
+  EXPECT_EQ(res.bytes_requested, 256u);
+}
+
+TEST(Coalescing, InactiveLanesAreFree) {
+  WarpRequest r;
+  r.access_bytes = 4;
+  r.addr[3] = 128;
+  r.active_mask = 1u << 3;
+  const auto res = coalesce_cc13(r);
+  EXPECT_EQ(res.transactions, 1u);
+  EXPECT_EQ(res.bytes_transferred, 32u);
+  EXPECT_EQ(res.bytes_requested, 4u);
+}
+
+TEST(Coalescing, EmptyRequestIsZero) {
+  WarpRequest r;
+  const auto res = coalesce_cc13(r);
+  EXPECT_EQ(res.transactions, 0u);
+  EXPECT_EQ(res.bytes_transferred, 0u);
+}
+
+TEST(Coalescing, HalfWarpsServicedIndependently) {
+  WarpRequest r;
+  r.access_bytes = 4;
+  // Both half-warps read the SAME 64-byte region; CC 1.3 cannot merge
+  // across half-warps, so it is still two transactions.
+  for (std::uint32_t l = 0; l < 32; ++l) {
+    r.addr[l] = (l % 16) * 4;
+    r.active_mask |= (1u << l);
+  }
+  const auto res = coalesce_cc13(r);
+  EXPECT_EQ(res.transactions, 2u);
+}
+
+TEST(MemoryAccessStats, AggregationAndRatios) {
+  gpusim::MemoryAccessStats s;
+  s.add(coalesce_cc13(full_warp_request(0, 4, 4)));    // perfect
+  s.add(coalesce_cc13(full_warp_request(512, 8, 4)));  // stride-2
+  EXPECT_EQ(s.requests, 2u);
+  EXPECT_EQ(s.bytes_requested, 256u);
+  EXPECT_EQ(s.bytes_transferred, 128u + 256u);
+  EXPECT_NEAR(s.overfetch(), 1.5, 1e-9);
+  EXPECT_NEAR(s.efficiency(), 1.0 / 1.5, 1e-9);
+  EXPECT_NEAR(s.transactions_per_request(), 2.0, 1e-9);
+}
+
+// --- shared memory banks ---
+
+TEST(BankConflicts, ConflictFreeUnitStride) {
+  // Lane l -> word l: banks 0..15 each hit once per half-warp.
+  const auto s = shared_bank_serialization(full_warp_request(0, 4, 4));
+  EXPECT_EQ(s, 2u);  // one cycle per half-warp
+}
+
+TEST(BankConflicts, BroadcastIsConflictFree) {
+  WarpRequest r;
+  r.access_bytes = 4;
+  for (std::uint32_t l = 0; l < 32; ++l) {
+    r.addr[l] = 64;
+    r.active_mask |= (1u << l);
+  }
+  EXPECT_EQ(shared_bank_serialization(r), 2u);
+}
+
+TEST(BankConflicts, Stride2IsTwoWay) {
+  // Word index 2*l: lanes 0 and 8 hit bank 0 with different words.
+  const auto s = shared_bank_serialization(full_warp_request(0, 8, 4));
+  EXPECT_EQ(s, 4u);  // 2-way serialization in each half-warp
+}
+
+TEST(BankConflicts, Stride16IsSixteenWay) {
+  const auto s = shared_bank_serialization(full_warp_request(0, 64, 4));
+  EXPECT_EQ(s, 32u);  // all 16 lanes of each half-warp on one bank
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "baselines/counting_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "test_util.hpp"
+
+namespace {
+
+using fim::Itemset;
+using miners::CountingTrie;
+
+TEST(CountingTrie, CountsContainedCandidates) {
+  std::vector<Itemset> cands{{0, 1}, {0, 2}, {1, 3}};
+  std::sort(cands.begin(), cands.end());
+  CountingTrie trie(cands);
+  const std::vector<fim::Item> tx{0, 1, 3};
+  trie.count_transaction(tx);
+  EXPECT_EQ(trie.count(0), 1u);  // {0,1}
+  EXPECT_EQ(trie.count(1), 0u);  // {0,2}
+  EXPECT_EQ(trie.count(2), 1u);  // {1,3}
+}
+
+TEST(CountingTrie, EmptyCandidateList) {
+  CountingTrie trie({});
+  EXPECT_EQ(trie.num_candidates(), 0u);
+  const std::vector<fim::Item> tx{0, 1};
+  trie.count_transaction(tx);  // must be a no-op, not a crash
+}
+
+TEST(CountingTrie, SharedPrefixesShareNodes) {
+  std::vector<Itemset> cands{{0, 1, 2}, {0, 1, 3}, {0, 1, 4}};
+  CountingTrie trie(cands);
+  // Root node 0, node 01, then three leaves: 5 nodes total.
+  EXPECT_EQ(trie.num_nodes(), 5u);
+  EXPECT_EQ(trie.depth(), 3u);
+}
+
+TEST(CountingTrie, ShortTransactionIsSkipped) {
+  std::vector<Itemset> cands{{0, 1, 2}};
+  CountingTrie trie(cands);
+  const std::vector<fim::Item> tx{0, 1};
+  trie.count_transaction(tx);
+  EXPECT_EQ(trie.count(0), 0u);
+}
+
+TEST(CountingTrie, RejectsMixedSizes) {
+  std::vector<Itemset> cands{{0, 1}, {0, 1, 2}};
+  EXPECT_THROW(CountingTrie trie(cands), std::invalid_argument);
+}
+
+TEST(CountingTrie, RejectsDuplicates) {
+  std::vector<Itemset> cands{{0, 1}, {0, 1}};
+  EXPECT_THROW(CountingTrie trie(cands), std::invalid_argument);
+}
+
+TEST(CountingTrie, MatchesNaiveCountsOnRandomData) {
+  const auto db = testutil::random_db(200, 11, 0.4, 13);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    // Enumerate all k-subsets of a fixed 8-item pool as candidates.
+    std::vector<Itemset> cands;
+    std::vector<fim::Item> pool{0, 1, 2, 4, 5, 7, 9, 10};
+    std::vector<std::size_t> idx(k);
+    // Simple k-combination enumeration.
+    std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t pos,
+                                                            std::size_t start) {
+      if (pos == k) {
+        std::vector<fim::Item> items;
+        for (auto i : idx) items.push_back(pool[i]);
+        cands.push_back(Itemset(items));
+        return;
+      }
+      for (std::size_t i = start; i < pool.size(); ++i) {
+        idx[pos] = i;
+        rec(pos + 1, i + 1);
+      }
+    };
+    rec(0, 0);
+    std::sort(cands.begin(), cands.end());
+    CountingTrie trie(cands);
+    for (std::size_t t = 0; t < db.num_transactions(); ++t)
+      trie.count_transaction(db.transaction(t));
+    for (std::size_t i = 0; i < cands.size(); ++i)
+      ASSERT_EQ(trie.count(i), testutil::naive_support(db, cands[i]))
+          << "k=" << k << " " << cands[i].to_string();
+  }
+}
+
+TEST(CountingTrie, TransactionEqualsCandidate) {
+  std::vector<Itemset> cands{{3, 5, 9}};
+  CountingTrie trie(cands);
+  const std::vector<fim::Item> tx{3, 5, 9};
+  trie.count_transaction(tx);
+  EXPECT_EQ(trie.count(0), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Property tests on the generators: parameter knobs must move the produced
+// data in the documented direction (these are what make the DESIGN.md §2
+// substitution argument checkable rather than asserted).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/datagen.hpp"
+#include "fim/dataset_stats.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace datagen;
+
+QuestParams base_quest() {
+  QuestParams p;
+  p.num_transactions = 3000;
+  p.avg_transaction_len = 12;
+  p.avg_pattern_len = 4;
+  p.num_patterns = 120;
+  p.num_items = 250;
+  p.seed = 77;
+  return p;
+}
+
+TEST(QuestProperties, AvgLengthTracksT) {
+  for (double t : {6.0, 12.0, 24.0}) {
+    auto p = base_quest();
+    p.avg_transaction_len = t;
+    const auto s = fim::compute_stats(generate_quest(p));
+    EXPECT_NEAR(s.avg_transaction_length, t, t * 0.25) << t;
+  }
+}
+
+TEST(QuestProperties, MorePatternsFlattenTheSkew) {
+  // Few planted patterns -> picks concentrate -> the head items dominate;
+  // many patterns spread the mass.
+  auto few = base_quest();
+  few.num_patterns = 10;
+  auto many = base_quest();
+  many.num_patterns = 1000;
+  const auto s_few = fim::compute_stats(generate_quest(few));
+  const auto s_many = fim::compute_stats(generate_quest(many));
+  EXPECT_GT(s_few.top_item_frequency, s_many.top_item_frequency);
+}
+
+TEST(QuestProperties, LongerPatternsYieldLargerFrequentSets) {
+  // I controls the planted itemset length: with the same mining threshold
+  // the maximal frequent set grows with I.
+  auto short_p = base_quest();
+  short_p.avg_pattern_len = 2;
+  auto long_p = base_quest();
+  long_p.avg_pattern_len = 8;
+  const auto a = testutil::brute_force(generate_quest(short_p), 60, 6);
+  const auto b = testutil::brute_force(generate_quest(long_p), 60, 6);
+  EXPECT_LE(a.max_size(), b.max_size());
+}
+
+TEST(QuestProperties, CorruptionReducesPatternIntegrity) {
+  // Higher corruption drops more items out of each planted occurrence, so
+  // multi-item co-occurrence falls: fewer frequent pairs at a fixed bar.
+  auto clean = base_quest();
+  clean.corruption_mean = 0.1;
+  auto dirty = base_quest();
+  dirty.corruption_mean = 0.9;
+  // Threshold well above what independent co-occurrence reaches (item
+  // marginals ~14% -> independent pairs ~2%; planted pairs survive jointly
+  // with prob (1-c)^2, so only the low-corruption run keeps them at 5%).
+  const auto pairs = [](const fim::TransactionDb& db) {
+    const auto sets = testutil::brute_force(db, 150, 2);
+    const auto counts = sets.counts_by_size();
+    return counts.size() > 2 ? counts[2] : 0;
+  };
+  EXPECT_GT(pairs(generate_quest(clean)), pairs(generate_quest(dirty)));
+}
+
+TEST(AttributeValueProperties, ModePriorRaisesCooccurrence) {
+  // The modal-transaction mixture is what makes chess/pumsb-like data hold
+  // large itemsets at high support; without it, dominant values co-occur
+  // only at the product of their marginals.
+  AttributeValueParams p;
+  for (int c = 0; c < 12; ++c) p.columns.push_back({2, 0.7});
+  p.num_transactions = 4000;
+  p.seed = 5;
+
+  p.mode_prob = 0.0;
+  const auto indep = testutil::brute_force(generate_attribute_value(p),
+                                           4000 * 55 / 100, 4);
+  p.mode_prob = 0.5;
+  const auto modal = testutil::brute_force(generate_attribute_value(p),
+                                           4000 * 55 / 100, 4);
+  EXPECT_GT(modal.size(), indep.size());
+  EXPECT_GE(modal.max_size(), indep.max_size());
+}
+
+TEST(AccidentsProperties, CoreProbabilityLadder) {
+  AccidentsParams p;
+  p.num_transactions = 8000;
+  const auto db = generate_accidents(p);
+  const auto f = db.item_frequencies();
+  const auto n = static_cast<double>(db.num_transactions());
+  // Frequency must fall along the core (within sampling noise).
+  EXPECT_GT(f[0] / n, 0.95);
+  EXPECT_GT(f[0], f[p.num_core_items - 1]);
+  EXPECT_NEAR(f[p.num_core_items - 1] / n, p.core_prob_lo, 0.05);
+}
+
+TEST(AccidentsProperties, TailLengthKnob) {
+  AccidentsParams shorter;
+  shorter.num_transactions = 4000;
+  shorter.avg_tail_len = 5;
+  AccidentsParams longer = shorter;
+  longer.avg_tail_len = 25;
+  const auto a = fim::compute_stats(generate_accidents(shorter));
+  const auto b = fim::compute_stats(generate_accidents(longer));
+  EXPECT_GT(b.avg_transaction_length, a.avg_transaction_length + 10);
+}
+
+TEST(ProfileProperties, SupportSweepsMatchDatasetCharacter) {
+  // Dense profiles sweep high supports, the sparse synthetic sweeps low
+  // ones — the same split the paper's four x-axes show.
+  const auto& chess = profile(DatasetId::kChess);
+  const auto& t40 = profile(DatasetId::kT40I10D100K);
+  EXPECT_GT(chess.support_sweep.front(), 0.5);
+  EXPECT_LT(t40.support_sweep.front(), 0.1);
+}
+
+TEST(ProfileProperties, ScaleDoesNotChangeShape) {
+  const auto& acc = profile(DatasetId::kAccidents);
+  const auto small = fim::compute_stats(acc.generate(0.01));
+  const auto large = fim::compute_stats(acc.generate(0.05));
+  EXPECT_NEAR(small.avg_transaction_length, large.avg_transaction_length,
+              2.0);
+  EXPECT_NEAR(small.top_item_frequency, large.top_item_frequency, 0.05);
+}
+
+}  // namespace

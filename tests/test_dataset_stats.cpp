@@ -1,0 +1,50 @@
+#include "fim/dataset_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using fim::compute_stats;
+using fim::TransactionDb;
+
+TEST(DatasetStats, BasicQuantities) {
+  const auto db = TransactionDb::from_transactions(
+      {{0, 1, 2}, {1, 2}, {2}, {0, 1, 2, 3}});
+  const auto s = compute_stats(db);
+  EXPECT_EQ(s.num_transactions, 4u);
+  EXPECT_EQ(s.distinct_items, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_transaction_length, 10.0 / 4.0);
+  EXPECT_EQ(s.max_transaction_length, 4u);
+  EXPECT_EQ(s.min_transaction_length, 1u);
+  EXPECT_DOUBLE_EQ(s.top_item_frequency, 1.0);  // item 2 in all 4
+  EXPECT_DOUBLE_EQ(s.density, (10.0 / 4.0) / 4.0);
+}
+
+TEST(DatasetStats, DistinctCountsOnlyOccurringItems) {
+  // Item universe is 11 (0..10) but only 2 items occur.
+  const auto db = TransactionDb::from_transactions({{0, 10}});
+  EXPECT_EQ(compute_stats(db).distinct_items, 2u);
+}
+
+TEST(DatasetStats, EmptyDatabase) {
+  const auto s = compute_stats(TransactionDb::from_transactions({}));
+  EXPECT_EQ(s.num_transactions, 0u);
+  EXPECT_EQ(s.distinct_items, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_transaction_length, 0.0);
+}
+
+TEST(DatasetStats, EmptyTransactionsCountTowardAverages) {
+  const auto db = TransactionDb::from_transactions({{0, 1}, {}});
+  const auto s = compute_stats(db);
+  EXPECT_DOUBLE_EQ(s.avg_transaction_length, 1.0);
+  EXPECT_EQ(s.min_transaction_length, 0u);
+}
+
+TEST(DatasetStats, TableRowFormatsName) {
+  const auto db = TransactionDb::from_transactions({{0, 1}});
+  const auto row = compute_stats(db).table_row("chess");
+  EXPECT_NE(row.find("chess"), std::string::npos);
+  EXPECT_NE(row.find('2'), std::string::npos);
+}
+
+}  // namespace

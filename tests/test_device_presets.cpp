@@ -1,0 +1,129 @@
+// Device-preset invariants and cross-generation sanity: the what-if bench
+// (ablation_devices) leans on these numbers, so they are pinned here.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/gpusim.hpp"
+
+namespace {
+
+using namespace gpusim;
+
+TEST(DevicePresets, TeslaT10MatchesGt200Spec) {
+  const auto p = DeviceProperties::tesla_t10();
+  EXPECT_EQ(p.sm_count, 30);
+  EXPECT_EQ(p.sp_per_sm, 8);
+  EXPECT_EQ(p.sm_count * p.sp_per_sm, 240);  // the marketing core count
+  EXPECT_NEAR(p.core_clock_ghz, 1.296, 1e-9);
+  EXPECT_NEAR(p.mem_bandwidth_gbps, 102.0, 1e-9);
+  EXPECT_EQ(p.max_threads_per_block, 512);
+  EXPECT_EQ(p.shared_mem_per_sm, 16u * 1024u);
+  EXPECT_EQ(p.registers_per_sm, 16 * 1024);
+  EXPECT_EQ(p.warp_size, 32);
+  EXPECT_DOUBLE_EQ(p.cycles_per_warp_instruction(), 4.0);
+}
+
+TEST(DevicePresets, Gtx280SharesTheSmArray) {
+  const auto t10 = DeviceProperties::tesla_t10();
+  const auto gtx = DeviceProperties::gtx_280();
+  EXPECT_EQ(gtx.sm_count, t10.sm_count);
+  EXPECT_EQ(gtx.sp_per_sm, t10.sp_per_sm);
+  EXPECT_GT(gtx.mem_bandwidth_gbps, t10.mem_bandwidth_gbps);
+  EXPECT_LT(gtx.global_mem_bytes, t10.global_mem_bytes);
+}
+
+TEST(DevicePresets, FermiC2050Generation) {
+  const auto f = DeviceProperties::tesla_c2050();
+  EXPECT_EQ(f.sm_count * f.sp_per_sm, 448);
+  EXPECT_EQ(f.max_threads_per_block, 1024);
+  EXPECT_EQ(f.shared_mem_per_sm, 48u * 1024u);
+  EXPECT_EQ(f.mem_banks, 32);
+  // 32 SPs per SM retire a warp in one cycle.
+  EXPECT_DOUBLE_EQ(f.cycles_per_warp_instruction(), 1.0);
+}
+
+TEST(DevicePresets, FermiAcceptsWiderBlocks) {
+  // A 1024-thread block launches on Fermi but not on GT200.
+  const auto f = DeviceProperties::tesla_c2050();
+  const auto occ = compute_occupancy(f, 1024, 1024, 16);
+  EXPECT_GE(occ.blocks_per_sm, 1);
+  EXPECT_THROW(
+      compute_occupancy(DeviceProperties::tesla_t10(), 1024, 1024, 16),
+      SimError);
+}
+
+TEST(DevicePresets, MemoryBoundKernelScalesWithBandwidth) {
+  // Identical launch on all three devices: memory-bound time tracks GB/s.
+  auto run = [](const DeviceProperties& props) {
+    KernelStats s;
+    s.config = {Dim3{1000}, Dim3{256}};
+    s.counters.blocks = 1000;
+    s.counters.threads = 256'000;
+    s.counters.warp_instructions = 1000;
+    s.counters.thread_instructions = 32'000;
+    s.counters.global_load_bytes = 400'000'000;
+    s.occupancy = compute_occupancy(props, 256, 1024, 14);
+    return estimate_kernel_time(s, props);
+  };
+  const auto t10 = run(DeviceProperties::tesla_t10());
+  const auto gtx = run(DeviceProperties::gtx_280());
+  const auto fermi = run(DeviceProperties::tesla_c2050());
+  EXPECT_GT(t10.memory_ns, gtx.memory_ns);
+  EXPECT_GT(gtx.memory_ns, fermi.memory_ns);
+  EXPECT_NEAR(t10.memory_ns / gtx.memory_ns, 141.7 / 102.0, 0.05);
+}
+
+TEST(DevicePresets, TestDeviceIsSmallButConsistent) {
+  const auto p = DeviceProperties::test_device();
+  EXPECT_LE(p.max_threads_per_block, p.max_threads_per_sm);
+  EXPECT_LE(p.max_warps_per_sm * p.warp_size, p.max_threads_per_sm);
+  // Runs a real grid.
+  DeviceOptions opts;
+  opts.arena_bytes = 1 << 20;
+  Device dev(p, opts);
+  EXPECT_EQ(dev.properties().sm_count, 2);
+}
+
+TEST(DevicePresets, CountersMergeIsComponentwise) {
+  KernelCounters a, b;
+  a.global_loads = 3;
+  a.warp_instructions = 10;
+  a.thread_instructions = 100;
+  a.global_atomics = 2;
+  b.global_loads = 5;
+  b.warp_instructions = 1;
+  b.barriers = 7;
+  a.merge(b);
+  EXPECT_EQ(a.global_loads, 8u);
+  EXPECT_EQ(a.warp_instructions, 11u);
+  EXPECT_EQ(a.barriers, 7u);
+  EXPECT_EQ(a.global_atomics, 2u);
+}
+
+TEST(DevicePresets, MemoryStatsMerge) {
+  MemoryAccessStats a, b;
+  a.requests = 2;
+  a.transactions = 4;
+  a.bytes_requested = 100;
+  a.bytes_transferred = 200;
+  b.requests = 1;
+  b.transactions = 1;
+  b.bytes_requested = 100;
+  b.bytes_transferred = 100;
+  a.merge(b);
+  EXPECT_EQ(a.requests, 3u);
+  EXPECT_NEAR(a.overfetch(), 1.5, 1e-12);
+}
+
+TEST(DevicePresets, SummaryStringMentionsKeyNumbers) {
+  KernelStats s;
+  s.kernel_name = "probe";
+  s.config = {Dim3{7}, Dim3{64}};
+  s.occupancy = compute_occupancy(DeviceProperties::tesla_t10(), 64, 0, 8);
+  const auto str = s.summary();
+  EXPECT_NE(str.find("probe"), std::string::npos);
+  EXPECT_NE(str.find("<<<7, 64>>>"), std::string::npos);
+  EXPECT_NE(str.find("occ"), std::string::npos);
+}
+
+}  // namespace

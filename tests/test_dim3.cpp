@@ -1,0 +1,45 @@
+#include "gpusim/dim3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using gpusim::Dim3;
+using gpusim::LaunchConfig;
+
+TEST(Dim3, DefaultsToUnitExtent) {
+  constexpr Dim3 d;
+  EXPECT_EQ(d.x, 1u);
+  EXPECT_EQ(d.y, 1u);
+  EXPECT_EQ(d.z, 1u);
+  EXPECT_EQ(d.count(), 1u);
+}
+
+TEST(Dim3, OneAndTwoDimensionalConstructors) {
+  constexpr Dim3 a{5};
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.y, 1u);
+  constexpr Dim3 b{4, 3};
+  EXPECT_EQ(b.count(), 12u);
+  constexpr Dim3 c{4, 3, 2};
+  EXPECT_EQ(c.count(), 24u);
+}
+
+TEST(Dim3, CountDoesNotOverflowAt32Bits) {
+  constexpr Dim3 d{65'535, 65'535, 4};
+  EXPECT_EQ(d.count(), 65'535ull * 65'535ull * 4ull);
+}
+
+TEST(Dim3, Equality) {
+  EXPECT_EQ(Dim3(1, 2, 3), Dim3(1, 2, 3));
+  EXPECT_NE(Dim3(1, 2, 3), Dim3(3, 2, 1));
+}
+
+TEST(LaunchConfig, DerivedQuantities) {
+  const LaunchConfig cfg{Dim3{10, 2}, Dim3{64, 2}, 128};
+  EXPECT_EQ(cfg.num_blocks(), 20u);
+  EXPECT_EQ(cfg.threads_per_block(), 128u);
+  EXPECT_EQ(cfg.dynamic_shared_bytes, 128u);
+}
+
+}  // namespace

@@ -1,0 +1,292 @@
+#include "gpusim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <numeric>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/error.hpp"
+
+namespace {
+
+using namespace gpusim;
+
+const DeviceProperties props = DeviceProperties::tesla_t10();
+
+/// c[i] = a[i] + b[i], one element per thread, single phase.
+class VecAddKernel final : public Kernel {
+ public:
+  DevicePtr<std::uint32_t> a, b, c;
+  std::uint64_t n = 0;
+
+  [[nodiscard]] std::string_view name() const override { return "vecadd"; }
+  [[nodiscard]] KernelInfo info(const LaunchConfig&) const override {
+    return {.num_phases = 1, .static_shared_bytes = 0, .regs_per_thread = 8};
+  }
+  void run_phase(std::uint32_t, ThreadCtx& t) const override {
+    const std::uint64_t i =
+        t.flat_block_idx() * t.block_dim().x + t.flat_tid();
+    if (i >= n) return;
+    const auto va = t.ld_global(a, i);
+    const auto vb = t.ld_global(b, i);
+    t.alu(1);
+    t.st_global(c, i, va + vb);
+  }
+};
+
+/// Phase 0 stores tid to shared; phase 1 reads the NEIGHBOR's slot. Only a
+/// real barrier between phases makes the result correct.
+class BarrierKernel final : public Kernel {
+ public:
+  DevicePtr<std::uint32_t> out;
+
+  [[nodiscard]] std::string_view name() const override { return "barrier"; }
+  [[nodiscard]] KernelInfo info(const LaunchConfig& cfg) const override {
+    return {.num_phases = 2,
+            .static_shared_bytes = static_cast<std::size_t>(cfg.block.x) * 4,
+            .regs_per_thread = 8};
+  }
+  void run_phase(std::uint32_t phase, ThreadCtx& t) const override {
+    const std::uint32_t tid = t.flat_tid();
+    const std::uint32_t n = t.block_dim().x;
+    if (phase == 0) {
+      t.st_shared<std::uint32_t>(tid * 4, tid);
+    } else {
+      const auto v = t.ld_shared<std::uint32_t>(((tid + 1) % n) * 4);
+      t.st_global(out, tid, v);
+    }
+  }
+};
+
+/// Lane l performs l ALU ops: maximal intra-warp divergence.
+class DivergentKernel final : public Kernel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "divergent"; }
+  [[nodiscard]] KernelInfo info(const LaunchConfig&) const override {
+    return {.num_phases = 1, .static_shared_bytes = 0, .regs_per_thread = 8};
+  }
+  void run_phase(std::uint32_t, ThreadCtx& t) const override {
+    t.alu(t.lane_id());
+  }
+};
+
+TEST(Executor, VecAddProducesCorrectResults) {
+  GlobalMemory mem(1 << 20);
+  constexpr std::uint64_t n = 1000;
+  VecAddKernel k;
+  k.a = mem.alloc<std::uint32_t>(n);
+  k.b = mem.alloc<std::uint32_t>(n);
+  k.c = mem.alloc<std::uint32_t>(n);
+  k.n = n;
+  std::vector<std::uint32_t> ha(n), hb(n);
+  std::iota(ha.begin(), ha.end(), 0u);
+  std::iota(hb.begin(), hb.end(), 100u);
+  mem.write_bytes(k.a.addr, ha.data(), n * 4);
+  mem.write_bytes(k.b.addr, hb.data(), n * 4);
+
+  const LaunchConfig cfg{Dim3{8}, Dim3{128}};
+  const auto stats = run_kernel(k, cfg, mem, props, {.sample_stride = 1});
+
+  std::vector<std::uint32_t> hc(n);
+  mem.read_bytes(k.c.addr, hc.data(), n * 4);
+  for (std::uint64_t i = 0; i < n; ++i)
+    ASSERT_EQ(hc[i], ha[i] + hb[i]) << i;
+
+  EXPECT_EQ(stats.counters.global_loads, 2 * n);
+  EXPECT_EQ(stats.counters.global_stores, n);
+  EXPECT_EQ(stats.counters.global_load_bytes, 8 * n);
+  EXPECT_EQ(stats.counters.blocks, 8u);
+  EXPECT_EQ(stats.counters.threads, 8u * 128u);
+}
+
+TEST(Executor, VecAddLoadsAreFullyCoalesced) {
+  GlobalMemory mem(1 << 20);
+  constexpr std::uint64_t n = 1024;  // exact multiple: every lane active
+  VecAddKernel k;
+  k.a = mem.alloc<std::uint32_t>(n, 128);
+  k.b = mem.alloc<std::uint32_t>(n, 128);
+  k.c = mem.alloc<std::uint32_t>(n, 128);
+  k.n = n;
+  const auto stats = run_kernel(k, {Dim3{8}, Dim3{128}}, mem, props,
+                                {.sample_stride = 1});
+  EXPECT_NEAR(stats.gmem_load_coalescing.efficiency(), 1.0, 1e-9);
+  EXPECT_NEAR(stats.gmem_store_coalescing.efficiency(), 1.0, 1e-9);
+}
+
+TEST(Executor, BarrierSemanticsBetweenPhases) {
+  GlobalMemory mem(1 << 16);
+  BarrierKernel k;
+  constexpr std::uint32_t b = 64;
+  k.out = mem.alloc<std::uint32_t>(b);
+  const auto stats = run_kernel(k, {Dim3{1}, Dim3{b}}, mem, props);
+  std::vector<std::uint32_t> out(b);
+  mem.read_bytes(k.out.addr, out.data(), b * 4);
+  for (std::uint32_t i = 0; i < b; ++i) ASSERT_EQ(out[i], (i + 1) % b);
+  EXPECT_EQ(stats.counters.barriers, 1u);
+}
+
+TEST(Executor, DivergenceAccounting) {
+  GlobalMemory mem(4096);
+  DivergentKernel k;
+  const auto stats =
+      run_kernel(k, {Dim3{1}, Dim3{64}}, mem, props, {.sample_stride = 1});
+  // Each warp issues max-over-lanes = 31 ops; useful work is mean 15.5.
+  EXPECT_EQ(stats.counters.warp_instructions, 2u * 31u);
+  EXPECT_EQ(stats.counters.thread_instructions, 2u * (31u * 32u / 2u));
+  EXPECT_EQ(stats.counters.divergent_warp_phases, 2u);
+  EXPECT_LT(stats.counters.simt_efficiency(), 0.51);
+}
+
+TEST(Executor, UniformWarpIsNotFlaggedDivergent) {
+  GlobalMemory mem(1 << 16);
+  VecAddKernel k;
+  constexpr std::uint64_t n = 128;
+  k.a = mem.alloc<std::uint32_t>(n);
+  k.b = mem.alloc<std::uint32_t>(n);
+  k.c = mem.alloc<std::uint32_t>(n);
+  k.n = n;
+  const auto stats = run_kernel(k, {Dim3{1}, Dim3{128}}, mem, props);
+  EXPECT_EQ(stats.counters.divergent_warp_phases, 0u);
+  EXPECT_DOUBLE_EQ(stats.counters.simt_efficiency(), 1.0);
+}
+
+TEST(Executor, PartialWarpBlock) {
+  GlobalMemory mem(1 << 16);
+  VecAddKernel k;
+  constexpr std::uint64_t n = 48;
+  k.a = mem.alloc<std::uint32_t>(n);
+  k.b = mem.alloc<std::uint32_t>(n);
+  k.c = mem.alloc<std::uint32_t>(n);
+  k.n = n;
+  const auto stats = run_kernel(k, {Dim3{1}, Dim3{48}}, mem, props);
+  EXPECT_EQ(stats.counters.global_stores, n);
+  EXPECT_EQ(stats.counters.warp_phases, 2u);  // 1.5 warps rounds up
+}
+
+TEST(Executor, SampleStrideControlsDetailedAnalysis) {
+  GlobalMemory mem(1 << 20);
+  VecAddKernel k;
+  constexpr std::uint64_t n = 16 * 128;
+  k.a = mem.alloc<std::uint32_t>(n);
+  k.b = mem.alloc<std::uint32_t>(n);
+  k.c = mem.alloc<std::uint32_t>(n);
+  k.n = n;
+  const auto none = run_kernel(k, {Dim3{16}, Dim3{128}}, mem, props,
+                               {.sample_stride = 0});
+  EXPECT_EQ(none.sampled_blocks, 0u);
+  EXPECT_EQ(none.gmem_load_coalescing.requests, 0u);
+  const auto some = run_kernel(k, {Dim3{16}, Dim3{128}}, mem, props,
+                               {.sample_stride = 4});
+  EXPECT_EQ(some.sampled_blocks, 4u);  // blocks 0, 4, 8, 12
+  EXPECT_GT(some.gmem_load_coalescing.requests, 0u);
+}
+
+TEST(Executor, TwoDimensionalGridVisitsEveryBlockOnce) {
+  GlobalMemory mem(1 << 16);
+
+  class BlockStamp final : public Kernel {
+   public:
+    DevicePtr<std::uint32_t> out;
+    [[nodiscard]] std::string_view name() const override { return "stamp"; }
+    [[nodiscard]] KernelInfo info(const LaunchConfig&) const override {
+      return {.num_phases = 1, .static_shared_bytes = 0, .regs_per_thread = 4};
+    }
+    void run_phase(std::uint32_t, ThreadCtx& t) const override {
+      if (t.flat_tid() == 0)
+        t.st_global(out, t.flat_block_idx(),
+                    t.block_idx().x * 100 + t.block_idx().y);
+    }
+  } k;
+  k.out = mem.alloc<std::uint32_t>(12);
+  run_kernel(k, {Dim3{4, 3}, Dim3{32}}, mem, props);
+  std::vector<std::uint32_t> out(12);
+  mem.read_bytes(k.out.addr, out.data(), 48);
+  for (std::uint32_t y = 0; y < 3; ++y)
+    for (std::uint32_t x = 0; x < 4; ++x)
+      EXPECT_EQ(out[y * 4 + x], x * 100 + y);
+}
+
+TEST(Executor, LaunchValidation) {
+  GlobalMemory mem(4096);
+  VecAddKernel k;
+  EXPECT_THROW(run_kernel(k, {Dim3{0}, Dim3{32}}, mem, props), SimError);
+  EXPECT_THROW(run_kernel(k, {Dim3{1}, Dim3{1024}}, mem, props), SimError);
+
+  class HugeShared final : public Kernel {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "huge"; }
+    [[nodiscard]] KernelInfo info(const LaunchConfig&) const override {
+      return {.num_phases = 1, .static_shared_bytes = 64 * 1024,
+              .regs_per_thread = 4};
+    }
+    void run_phase(std::uint32_t, ThreadCtx&) const override {}
+  } huge;
+  EXPECT_THROW(run_kernel(huge, {Dim3{1}, Dim3{32}}, mem, props), SimError);
+
+  class ZeroPhases final : public Kernel {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "zero"; }
+    [[nodiscard]] KernelInfo info(const LaunchConfig&) const override {
+      return {.num_phases = 0, .static_shared_bytes = 0, .regs_per_thread = 4};
+    }
+    void run_phase(std::uint32_t, ThreadCtx&) const override {}
+  } zero;
+  EXPECT_THROW(run_kernel(zero, {Dim3{1}, Dim3{32}}, mem, props), SimError);
+}
+
+TEST(Executor, SharedMemoryIsZeroedPerBlock) {
+  GlobalMemory mem(1 << 16);
+
+  // Accumulates into shared slot 0 then writes it out; if shared state
+  // leaked across blocks, later blocks would observe earlier sums.
+  class LeakProbe final : public Kernel {
+   public:
+    DevicePtr<std::uint32_t> out;
+    [[nodiscard]] std::string_view name() const override { return "probe"; }
+    [[nodiscard]] KernelInfo info(const LaunchConfig&) const override {
+      return {.num_phases = 2, .static_shared_bytes = 4, .regs_per_thread = 4};
+    }
+    void run_phase(std::uint32_t phase, ThreadCtx& t) const override {
+      if (t.flat_tid() != 0) return;
+      if (phase == 0) {
+        const auto v = t.ld_shared<std::uint32_t>(0);
+        t.st_shared<std::uint32_t>(0, v + 1);
+      } else {
+        t.st_global(out, t.flat_block_idx(), t.ld_shared<std::uint32_t>(0));
+      }
+    }
+  } k;
+  k.out = mem.alloc<std::uint32_t>(4);
+  run_kernel(k, {Dim3{4}, Dim3{32}}, mem, props);
+  std::vector<std::uint32_t> out(4);
+  mem.read_bytes(k.out.addr, out.data(), 16);
+  for (auto v : out) EXPECT_EQ(v, 1u);
+}
+
+TEST(Executor, PopcIntrinsic) {
+  GlobalMemory mem(1 << 16);
+
+  class PopcKernel final : public Kernel {
+   public:
+    DevicePtr<std::uint32_t> out;
+    [[nodiscard]] std::string_view name() const override { return "popc"; }
+    [[nodiscard]] KernelInfo info(const LaunchConfig&) const override {
+      return {.num_phases = 1, .static_shared_bytes = 0, .regs_per_thread = 4};
+    }
+    void run_phase(std::uint32_t, ThreadCtx& t) const override {
+      t.st_global(out, t.flat_tid(), t.popc(0xF0F0F0F0u >> t.flat_tid()));
+    }
+  } k;
+  k.out = mem.alloc<std::uint32_t>(32);
+  run_kernel(k, {Dim3{1}, Dim3{32}}, mem, props);
+  std::vector<std::uint32_t> out(32);
+  mem.read_bytes(k.out.addr, out.data(), 128);
+  for (std::uint32_t i = 0; i < 32; ++i)
+    EXPECT_EQ(out[i],
+              static_cast<std::uint32_t>(std::popcount(0xF0F0F0F0u >> i)))
+        << i;
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+#include "fim/fimi_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using fim::IoError;
+using fim::read_fimi;
+using fim::TransactionDb;
+using fim::write_fimi;
+
+TEST(FimiIo, ParseBasic) {
+  std::istringstream in("1 2 3\n4 5\n");
+  const auto db = read_fimi(in);
+  EXPECT_EQ(db.num_transactions(), 2u);
+  EXPECT_EQ(db.transaction(0).size(), 3u);
+  EXPECT_EQ(db.transaction(1)[1], 5u);
+}
+
+TEST(FimiIo, BlankLinesAreEmptyTransactions) {
+  std::istringstream in("1\n\n2\n");
+  const auto db = read_fimi(in);
+  EXPECT_EQ(db.num_transactions(), 3u);
+  EXPECT_EQ(db.transaction(1).size(), 0u);
+}
+
+TEST(FimiIo, ToleratesExtraWhitespace) {
+  std::istringstream in("  7\t 8  \n");
+  const auto db = read_fimi(in);
+  ASSERT_EQ(db.num_transactions(), 1u);
+  EXPECT_EQ(db.transaction(0).size(), 2u);
+}
+
+TEST(FimiIo, RejectsNonNumeric) {
+  std::istringstream in("1 2\n3 x 4\n");
+  try {
+    (void)read_fimi(in);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(FimiIo, RejectsItemOverflow) {
+  std::istringstream in("99999999999\n");
+  EXPECT_THROW((void)read_fimi(in), IoError);
+}
+
+TEST(FimiIo, WriteReadRoundTrip) {
+  const auto db = TransactionDb::from_transactions(
+      {{10, 20, 30}, {}, {5}, {1, 2, 3, 4, 5, 6, 7}});
+  std::ostringstream out;
+  write_fimi(db, out);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_fimi(in), db);
+}
+
+TEST(FimiIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/gpapriori_io_test.dat";
+  const auto db = TransactionDb::from_transactions({{1, 2}, {3}});
+  fim::write_fimi_file(db, path);
+  EXPECT_EQ(fim::read_fimi_file(path), db);
+  std::remove(path.c_str());
+}
+
+TEST(FimiIo, MissingFileThrows) {
+  EXPECT_THROW((void)fim::read_fimi_file("/nonexistent/definitely/not.dat"),
+               IoError);
+}
+
+}  // namespace

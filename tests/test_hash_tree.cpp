@@ -1,0 +1,93 @@
+#include "baselines/hash_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace {
+
+using fim::Itemset;
+using miners::HashTree;
+
+TEST(HashTree, CountsExactSubsets) {
+  HashTree tree(2);
+  const auto i01 = tree.insert(Itemset{0, 1});
+  const auto i12 = tree.insert(Itemset{1, 2});
+  const auto i03 = tree.insert(Itemset{0, 3});
+  const std::vector<fim::Item> tx{0, 1, 2};
+  tree.count_subsets(tx, 1);
+  EXPECT_EQ(tree.count(i01), 1u);
+  EXPECT_EQ(tree.count(i12), 1u);
+  EXPECT_EQ(tree.count(i03), 0u);
+}
+
+TEST(HashTree, ShortTransactionsAreSkipped) {
+  HashTree tree(3);
+  const auto idx = tree.insert(Itemset{0, 1, 2});
+  const std::vector<fim::Item> tx{0, 1};
+  tree.count_subsets(tx, 1);
+  EXPECT_EQ(tree.count(idx), 0u);
+}
+
+TEST(HashTree, NoDoubleCountingAcrossPaths) {
+  // With fanout 2, many transaction items hash onto the same children; the
+  // stamp mechanism must still count each candidate at most once per
+  // transaction.
+  HashTree tree(2, /*fanout=*/2, /*leaf_capacity=*/1);
+  const auto idx = tree.insert(Itemset{2, 4});
+  const std::vector<fim::Item> tx{0, 2, 4, 6, 8};  // all hash to child 0
+  tree.count_subsets(tx, 7);
+  EXPECT_EQ(tree.count(idx), 1u);
+}
+
+TEST(HashTree, SplitsOverflowingLeaves) {
+  HashTree tree(2, 7, /*leaf_capacity=*/2);
+  for (fim::Item a = 0; a < 6; ++a) tree.insert(Itemset{a, a + 10});
+  EXPECT_GT(tree.num_leaves(), 1u);
+  EXPECT_GE(tree.max_depth(), 1u);
+}
+
+TEST(HashTree, TerminalLeavesAbsorbIdenticalHashChains) {
+  // Candidates identical under the hash at every depth must still be stored
+  // (terminal leaf at depth k does not split further).
+  HashTree tree(2, 7, /*leaf_capacity=*/1);
+  tree.insert(Itemset{0, 7});
+  tree.insert(Itemset{7, 14});
+  tree.insert(Itemset{14, 21});  // all items hash to 0
+  EXPECT_EQ(tree.size(), 3u);
+  const std::vector<fim::Item> tx{0, 7, 14, 21};
+  tree.count_subsets(tx, 1);
+  EXPECT_EQ(tree.count(0), 1u);
+  EXPECT_EQ(tree.count(1), 1u);
+  EXPECT_EQ(tree.count(2), 1u);
+}
+
+TEST(HashTree, RejectsWrongCandidateSize) {
+  HashTree tree(3);
+  EXPECT_THROW(tree.insert(Itemset{1, 2}), std::invalid_argument);
+}
+
+TEST(HashTree, RejectsBadConstruction) {
+  EXPECT_THROW(HashTree(0), std::invalid_argument);
+  EXPECT_THROW(HashTree(2, 1), std::invalid_argument);
+}
+
+TEST(HashTree, MatchesNaiveCountsOnRandomData) {
+  const auto db = testutil::random_db(150, 10, 0.45, 31);
+  // All 3-item candidates over items 0..9.
+  HashTree tree(3, 7, 4);
+  std::vector<Itemset> cands;
+  for (fim::Item a = 0; a < 10; ++a)
+    for (fim::Item b = a + 1; b < 10; ++b)
+      for (fim::Item c = b + 1; c < 10; ++c) {
+        cands.push_back(Itemset{a, b, c});
+        tree.insert(cands.back());
+      }
+  for (std::size_t t = 0; t < db.num_transactions(); ++t)
+    tree.count_subsets(db.transaction(t), t + 1);
+  for (std::size_t i = 0; i < cands.size(); ++i)
+    ASSERT_EQ(tree.count(i), testutil::naive_support(db, cands[i]))
+        << cands[i].to_string();
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+#include "fim/itemset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using fim::Item;
+using fim::Itemset;
+
+TEST(Itemset, ConstructionSortsAndDedups) {
+  const Itemset s{5, 1, 3, 1, 5};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 1u);
+  EXPECT_EQ(s[1], 3u);
+  EXPECT_EQ(s[2], 5u);
+}
+
+TEST(Itemset, EmptySet) {
+  const Itemset s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.to_string(), "");
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(Itemset, Contains) {
+  const Itemset s{2, 4, 6};
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_TRUE(s.contains_all(Itemset{2, 6}));
+  EXPECT_TRUE(s.contains_all(Itemset{}));
+  EXPECT_FALSE(s.contains_all(Itemset{2, 3}));
+}
+
+TEST(Itemset, WithInsertsInOrder) {
+  const Itemset s{1, 5};
+  EXPECT_EQ(s.with(3), (Itemset{1, 3, 5}));
+  EXPECT_EQ(s.with(0), (Itemset{0, 1, 5}));
+  EXPECT_EQ(s.with(9), (Itemset{1, 5, 9}));
+  EXPECT_EQ(s.size(), 2u);  // original untouched
+}
+
+TEST(Itemset, WithoutIndex) {
+  const Itemset s{1, 3, 5};
+  EXPECT_EQ(s.without_index(0), (Itemset{3, 5}));
+  EXPECT_EQ(s.without_index(1), (Itemset{1, 5}));
+  EXPECT_EQ(s.without_index(2), (Itemset{1, 3}));
+}
+
+TEST(Itemset, SetAlgebra) {
+  const Itemset a{1, 2, 3}, b{2, 3, 4};
+  EXPECT_EQ(a.set_union(b), (Itemset{1, 2, 3, 4}));
+  EXPECT_EQ(a.set_difference(b), (Itemset{1}));
+  EXPECT_EQ(b.set_difference(a), (Itemset{4}));
+  EXPECT_EQ(a.set_difference(a), Itemset{});
+}
+
+TEST(Itemset, LexicographicOrdering) {
+  EXPECT_LT(Itemset({1, 2}), Itemset({1, 3}));
+  EXPECT_LT(Itemset({1, 2}), Itemset({1, 2, 3}));  // prefix first
+  EXPECT_LT(Itemset({1, 9, 9}), Itemset({2}));
+}
+
+TEST(Itemset, ToString) {
+  EXPECT_EQ(Itemset({3, 1, 2}).to_string(), "1 2 3");
+  EXPECT_EQ(Itemset({42}).to_string(), "42");
+}
+
+TEST(Itemset, HashEqualSetsCollide) {
+  const fim::ItemsetHash h;
+  EXPECT_EQ(h(Itemset{1, 2, 3}), h(Itemset{3, 2, 1}));
+  EXPECT_NE(h(Itemset{1, 2, 3}), h(Itemset{1, 2, 4}));
+}
+
+TEST(Itemset, StrictlyIncreasingCheck) {
+  const std::vector<Item> good{1, 2, 9};
+  const std::vector<Item> dup{1, 2, 2};
+  const std::vector<Item> unsorted{2, 1};
+  EXPECT_TRUE(fim::is_strictly_increasing(good));
+  EXPECT_FALSE(fim::is_strictly_increasing(dup));
+  EXPECT_FALSE(fim::is_strictly_increasing(unsorted));
+  EXPECT_TRUE(fim::is_strictly_increasing(std::span<const Item>{}));
+}
+
+}  // namespace

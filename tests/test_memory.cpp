@@ -1,0 +1,143 @@
+#include "gpusim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+using gpusim::DevicePtr;
+using gpusim::GlobalMemory;
+using gpusim::SimError;
+
+TEST(GlobalMemory, AllocationRespectsAlignment) {
+  GlobalMemory mem(1 << 20);
+  const auto a = mem.alloc<std::uint8_t>(3);
+  const auto b = mem.alloc<std::uint32_t>(10, 64);
+  EXPECT_NE(a.addr, 0u);
+  EXPECT_EQ(b.addr % 64, 0u);
+}
+
+TEST(GlobalMemory, AddressZeroIsNeverHandedOut) {
+  GlobalMemory mem(1 << 16);
+  const auto p = mem.alloc<std::uint8_t>(1, 1);
+  EXPECT_GT(p.addr, 0u);
+  EXPECT_FALSE(p.is_null());
+  EXPECT_TRUE(DevicePtr<std::uint8_t>{}.is_null());
+}
+
+TEST(GlobalMemory, WriteReadRoundTrip) {
+  GlobalMemory mem(1 << 16);
+  const auto p = mem.alloc<std::uint32_t>(4);
+  const std::vector<std::uint32_t> v{1, 2, 3, 4};
+  mem.write_bytes(p.addr, v.data(), 16);
+  std::vector<std::uint32_t> back(4);
+  mem.read_bytes(p.addr, back.data(), 16);
+  EXPECT_EQ(v, back);
+}
+
+TEST(GlobalMemory, LoadStoreTyped) {
+  GlobalMemory mem(1 << 16);
+  const auto p = mem.alloc<std::uint64_t>(2);
+  mem.store<std::uint64_t>(p.byte_of(1), 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(mem.load<std::uint64_t>(p.byte_of(1)), 0xDEADBEEFCAFEBABEull);
+}
+
+TEST(GlobalMemory, OutOfMemoryThrows) {
+  GlobalMemory mem(4096);
+  EXPECT_THROW(mem.alloc<std::uint8_t>(1 << 20), SimError);
+}
+
+TEST(GlobalMemory, FreedSpaceIsReused) {
+  GlobalMemory mem(4096);
+  const auto a = mem.alloc<std::uint8_t>(3000, 1);
+  EXPECT_THROW(mem.alloc<std::uint8_t>(3000, 1), SimError);
+  mem.free(a);
+  EXPECT_NO_THROW(mem.alloc<std::uint8_t>(3000, 1));
+}
+
+TEST(GlobalMemory, FirstFitFillsGapBetweenBlocks) {
+  GlobalMemory mem(8192);
+  const auto a = mem.alloc<std::uint8_t>(1000, 1);
+  const auto b = mem.alloc<std::uint8_t>(1000, 1);
+  const auto c = mem.alloc<std::uint8_t>(1000, 1);
+  (void)c;
+  mem.free(b);
+  const auto d = mem.alloc<std::uint8_t>(500, 1);
+  EXPECT_GT(d.addr, a.addr);
+  EXPECT_LT(d.addr, a.addr + 2001);  // landed in the freed gap
+}
+
+TEST(GlobalMemory, DoubleFreeThrows) {
+  GlobalMemory mem(4096);
+  const auto a = mem.alloc<std::uint32_t>(8);
+  mem.free(a);
+  EXPECT_THROW(mem.free(a), SimError);
+}
+
+TEST(GlobalMemory, FreeUnknownPointerThrows) {
+  GlobalMemory mem(4096);
+  EXPECT_THROW(mem.free(DevicePtr<std::uint32_t>{128}), SimError);
+}
+
+TEST(GlobalMemory, ZeroSizeAllocationThrows) {
+  GlobalMemory mem(4096);
+  EXPECT_THROW(mem.alloc<std::uint32_t>(0), SimError);
+}
+
+TEST(GlobalMemory, NonPowerOfTwoAlignmentThrows) {
+  GlobalMemory mem(4096);
+  EXPECT_THROW(mem.alloc<std::uint8_t>(8, 3), SimError);
+}
+
+TEST(GlobalMemory, ArenaBoundsChecked) {
+  GlobalMemory mem(4096);
+  EXPECT_THROW((void)mem.load<std::uint32_t>(4096), SimError);
+  EXPECT_THROW((void)mem.load<std::uint32_t>(4094), SimError);  // straddles end
+  EXPECT_THROW(mem.store<std::uint32_t>(0, 1u), SimError);  // null page
+}
+
+TEST(GlobalMemory, StrictModeRejectsUnallocatedAccess) {
+  GlobalMemory mem(1 << 16, /*strict=*/true);
+  const auto p = mem.alloc<std::uint32_t>(4);
+  EXPECT_NO_THROW((void)mem.load<std::uint32_t>(p.byte_of(3)));
+  // One past the allocation.
+  EXPECT_THROW((void)mem.load<std::uint32_t>(p.byte_of(4)), SimError);
+  // Address inside the arena but in no live block.
+  EXPECT_THROW((void)mem.load<std::uint32_t>(p.byte_of(4) + 1024), SimError);
+}
+
+TEST(GlobalMemory, StrictModeRejectsUseAfterFree) {
+  GlobalMemory mem(1 << 16, /*strict=*/true);
+  const auto p = mem.alloc<std::uint32_t>(4);
+  mem.free(p);
+  EXPECT_THROW((void)mem.load<std::uint32_t>(p.byte_of(0)), SimError);
+}
+
+TEST(GlobalMemory, UsageAccounting) {
+  GlobalMemory mem(1 << 16);
+  EXPECT_EQ(mem.bytes_in_use(), 0u);
+  const auto a = mem.alloc<std::uint8_t>(100, 1);
+  const auto b = mem.alloc<std::uint8_t>(200, 1);
+  EXPECT_EQ(mem.bytes_in_use(), 300u);
+  EXPECT_EQ(mem.allocation_count(), 2u);
+  mem.free(a);
+  EXPECT_EQ(mem.bytes_in_use(), 200u);
+  EXPECT_EQ(mem.peak_bytes_in_use(), 300u);
+  mem.free(b);
+  EXPECT_EQ(mem.bytes_in_use(), 0u);
+}
+
+TEST(GlobalMemory, ZeroCapacityRejected) {
+  EXPECT_THROW(GlobalMemory mem(0), SimError);
+}
+
+TEST(DevicePtrTest, ArithmeticAndCast) {
+  const DevicePtr<std::uint32_t> p{256};
+  EXPECT_EQ((p + 3).addr, 256u + 12u);
+  EXPECT_EQ(p.byte_of(5), 256u + 20u);
+  EXPECT_EQ(p.cast<std::uint8_t>().addr, 256u);
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+#include "gpusim/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/error.hpp"
+
+namespace {
+
+using gpusim::compute_occupancy;
+using gpusim::DeviceProperties;
+using gpusim::OccupancyLimiter;
+using gpusim::SimError;
+
+const DeviceProperties t10 = DeviceProperties::tesla_t10();
+
+TEST(Occupancy, FullOccupancyAt256Threads) {
+  // 256 threads = 8 warps/block; 32 warps per SM / 8 = 4 blocks; threads
+  // and registers both allow it -> 100% occupancy.
+  const auto r = compute_occupancy(t10, 256, 1024, 10);
+  EXPECT_EQ(r.blocks_per_sm, 4);
+  EXPECT_EQ(r.active_warps_per_sm, 32);
+  EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+}
+
+TEST(Occupancy, SmallBlocksAreBlockCountLimited) {
+  // 32-thread blocks: warps allow 32 blocks but the SM caps at 8.
+  const auto r = compute_occupancy(t10, 32, 0, 10);
+  EXPECT_EQ(r.blocks_per_sm, 8);
+  EXPECT_EQ(r.limiter, OccupancyLimiter::kBlocks);
+  EXPECT_EQ(r.active_warps_per_sm, 8);
+  EXPECT_DOUBLE_EQ(r.occupancy, 0.25);
+}
+
+TEST(Occupancy, SharedMemoryLimits) {
+  // 8 KiB per block on a 16 KiB SM -> 2 blocks.
+  const auto r = compute_occupancy(t10, 128, 8 * 1024, 10);
+  EXPECT_EQ(r.blocks_per_sm, 2);
+  EXPECT_EQ(r.limiter, OccupancyLimiter::kSharedMemory);
+}
+
+TEST(Occupancy, RegisterLimits) {
+  // 60 regs x 256 threads = 15360 regs/block; 16384 available -> 1 block.
+  const auto r = compute_occupancy(t10, 256, 0, 60);
+  EXPECT_EQ(r.blocks_per_sm, 1);
+  EXPECT_EQ(r.limiter, OccupancyLimiter::kRegisters);
+}
+
+TEST(Occupancy, PartialWarpsRoundUp) {
+  // 48 threads occupy 2 warps' worth of scheduler slots.
+  const auto r = compute_occupancy(t10, 48, 0, 8);
+  EXPECT_EQ(r.active_warps_per_sm, r.blocks_per_sm * 2);
+}
+
+TEST(Occupancy, SharedGranularityRounding) {
+  // 513 bytes rounds to 1024 (granularity 512): 16 blocks by shared... but
+  // block cap of 8 applies first.
+  const auto a = compute_occupancy(t10, 64, 513, 8);
+  EXPECT_EQ(a.blocks_per_sm, 8);
+  // 2100 B rounds to 2560; 16384/2560 = 6 blocks.
+  const auto b = compute_occupancy(t10, 64, 2100, 8);
+  EXPECT_EQ(b.blocks_per_sm, 6);
+  EXPECT_EQ(b.limiter, OccupancyLimiter::kSharedMemory);
+}
+
+TEST(Occupancy, MaxBlockSizeAccepted) {
+  const auto r = compute_occupancy(t10, 512, 0, 8);
+  EXPECT_EQ(r.blocks_per_sm, 2);
+  EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+}
+
+TEST(Occupancy, ZeroThreadsThrows) {
+  EXPECT_THROW(compute_occupancy(t10, 0, 0, 8), SimError);
+}
+
+TEST(Occupancy, TooManyThreadsPerBlockThrows) {
+  EXPECT_THROW(compute_occupancy(t10, 513, 0, 8), SimError);
+}
+
+TEST(Occupancy, BlockSharedExceedingSmThrows) {
+  EXPECT_THROW(compute_occupancy(t10, 128, 17 * 1024, 8), SimError);
+}
+
+TEST(Occupancy, LimiterNames) {
+  EXPECT_EQ(gpusim::to_string(OccupancyLimiter::kThreads), "threads");
+  EXPECT_EQ(gpusim::to_string(OccupancyLimiter::kSharedMemory),
+            "shared-memory");
+}
+
+TEST(Occupancy, TestDevicePreset) {
+  const auto d = DeviceProperties::test_device();
+  const auto r = compute_occupancy(d, 64, 0, 8);
+  EXPECT_GE(r.blocks_per_sm, 1);
+  EXPECT_LE(r.active_threads_per_sm, d.max_threads_per_sm);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+#include "core/partitioned.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/gpapriori.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using gpapriori::Config;
+using gpapriori::PartitionedGpApriori;
+using miners::MiningParams;
+
+Config test_config() {
+  Config cfg;
+  cfg.block_size = 64;
+  cfg.arena_bytes = 32 << 20;
+  cfg.strict_memory = true;
+  return cfg;
+}
+
+TEST(Partitioned, SingleChunkDegeneratesToStatic) {
+  const auto db = testutil::random_db(200, 12, 0.4, 501);
+  MiningParams p;
+  p.min_support_abs = 20;
+  PartitionedGpApriori miner(test_config(), 0);
+  const auto out = miner.mine(db, p);
+  EXPECT_EQ(miner.num_partitions(), 1u);
+  EXPECT_TRUE(out.itemsets.equivalent_to(testutil::brute_force(db, 20)));
+}
+
+TEST(Partitioned, ChunkedCountingIsExact) {
+  // 2000 transactions, budget forcing several chunks; supports must be
+  // identical to the one-chunk run and the brute-force oracle.
+  const auto db = testutil::random_db(2000, 10, 0.4, 502);
+  MiningParams p;
+  p.min_support_ratio = 0.1;
+  const auto expected =
+      testutil::brute_force(db, p.resolve_min_count(db.num_transactions()));
+
+  // ~10 rows x 64-word stride = 2.5 KiB resident slice for the whole
+  // database; a 1 KiB budget forces ~4 chunks with boundaries that are NOT
+  // word-aligned multiples of 32 transactions.
+  PartitionedGpApriori miner(test_config(), 1 << 10);
+  const auto out = miner.mine(db, p);
+  EXPECT_GT(miner.num_partitions(), 1u);
+  EXPECT_TRUE(out.itemsets.equivalent_to(expected));
+}
+
+TEST(Partitioned, ManyChunkCountsAgreeAcrossBudgets) {
+  const auto db = testutil::random_db(3000, 8, 0.5, 503);
+  MiningParams p;
+  p.min_support_ratio = 0.2;
+  fim::ItemsetCollection ref;
+  std::size_t last_parts = 0;
+  bool first = true;
+  for (std::size_t budget : {0ul, 2048ul, 1024ul, 512ul}) {
+    PartitionedGpApriori miner(test_config(), budget);
+    const auto out = miner.mine(db, p);
+    if (first) {
+      ref = out.itemsets;
+      first = false;
+    } else {
+      EXPECT_TRUE(out.itemsets.equivalent_to(ref)) << budget;
+      EXPECT_GE(miner.num_partitions(), last_parts) << budget;
+    }
+    last_parts = miner.num_partitions();
+  }
+  EXPECT_GT(last_parts, 2u);
+}
+
+TEST(Partitioned, MatchesStaticDriverExactly) {
+  const auto db = testutil::random_db(1500, 12, 0.35, 504);
+  MiningParams p;
+  p.min_support_ratio = 0.08;
+  gpapriori::GpApriori static_miner(test_config());
+  PartitionedGpApriori streamed(test_config(), 16 << 10);
+  EXPECT_TRUE(streamed.mine(db, p).itemsets.equivalent_to(
+      static_miner.mine(db, p).itemsets));
+}
+
+TEST(Partitioned, StreamingCostsMoreTransfers) {
+  const auto db = testutil::random_db(3000, 10, 0.4, 505);
+  MiningParams p;
+  p.min_support_ratio = 0.15;
+  PartitionedGpApriori one(test_config(), 0);
+  PartitionedGpApriori many(test_config(), 1 << 10);
+  (void)one.mine(db, p);
+  (void)many.mine(db, p);
+  EXPECT_GT(many.ledger().h2d_transfers, one.ledger().h2d_transfers);
+  EXPECT_GT(many.ledger().h2d_ns, one.ledger().h2d_ns);
+}
+
+TEST(Partitioned, ImpossibleBudgetRejected) {
+  const auto db = testutil::random_db(5000, 30, 0.5, 506);
+  MiningParams p;
+  p.min_support_ratio = 0.3;
+  PartitionedGpApriori miner(test_config(), 64);  // < one 512-tx slice
+  EXPECT_THROW((void)miner.mine(db, p), std::invalid_argument);
+}
+
+TEST(Partitioned, EmptyDatabase) {
+  PartitionedGpApriori miner(test_config(), 1 << 10);
+  MiningParams p;
+  p.min_support_abs = 1;
+  EXPECT_TRUE(miner.mine(fim::TransactionDb::from_transactions({}), p)
+                  .itemsets.empty());
+  EXPECT_EQ(miner.num_partitions(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+#include "datagen/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fim/dataset_stats.hpp"
+
+namespace {
+
+using namespace datagen;
+
+TEST(AttributeValue, OneItemPerColumn) {
+  AttributeValueParams p;
+  p.columns = {{2, 0.7}, {3, 0.5}, {4, 0.9}};
+  p.num_transactions = 500;
+  const auto db = generate_attribute_value(p);
+  EXPECT_EQ(db.num_transactions(), 500u);
+  EXPECT_LE(db.item_universe(), 9u);
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    const auto tx = db.transaction(t);
+    ASSERT_EQ(tx.size(), 3u);
+    // One value from each column's id range.
+    EXPECT_LT(tx[0], 2u);
+    EXPECT_GE(tx[1], 2u);
+    EXPECT_LT(tx[1], 5u);
+    EXPECT_GE(tx[2], 5u);
+  }
+}
+
+TEST(AttributeValue, SkewConcentratesOnFirstValue) {
+  AttributeValueParams p;
+  p.columns = {{2, 0.9}};
+  p.num_transactions = 2000;
+  const auto db = generate_attribute_value(p);
+  const auto f = db.item_frequencies();
+  EXPECT_GT(f[0], f[1] * 5);
+}
+
+TEST(AttributeValue, RejectsBadSpecs) {
+  AttributeValueParams p;
+  EXPECT_THROW((void)generate_attribute_value(p), std::invalid_argument);
+  p.columns = {{0, 0.5}};
+  p.num_transactions = 1;
+  EXPECT_THROW((void)generate_attribute_value(p), std::invalid_argument);
+}
+
+TEST(Accidents, CoreItemsAreNearUniversal) {
+  AccidentsParams p;
+  p.num_transactions = 5000;
+  const auto db = generate_accidents(p);
+  const auto f = db.item_frequencies();
+  const auto n = static_cast<double>(db.num_transactions());
+  // First core item ~ core_prob_hi.
+  EXPECT_GT(f[0] / n, 0.95);
+  // Tail items individually rare-ish compared to the core head.
+  EXPECT_LT(f[p.num_core_items + 200] / n, 0.5);
+}
+
+TEST(Profiles, RegistryIsComplete) {
+  EXPECT_EQ(all_profiles().size(), 4u);
+  EXPECT_EQ(profile(DatasetId::kChess).name, "chess");
+  EXPECT_EQ(profile(DatasetId::kPumsb).paper_items, 2113u);
+  EXPECT_EQ(profile(DatasetId::kAccidents).paper_trans, 340'183u);
+  for (const auto& p : all_profiles()) {
+    EXPECT_FALSE(p.support_sweep.empty());
+    // Sweeps run high support -> low, like the paper's figures.
+    for (std::size_t i = 1; i < p.support_sweep.size(); ++i)
+      EXPECT_LT(p.support_sweep[i], p.support_sweep[i - 1]);
+  }
+}
+
+TEST(Profiles, GenerateIsDeterministic) {
+  const auto& chess = profile(DatasetId::kChess);
+  EXPECT_EQ(chess.generate(0.1), chess.generate(0.1));
+  EXPECT_NE(chess.generate(0.1), chess.generate(0.1, /*seed_offset=*/1));
+}
+
+TEST(Profiles, ScaleControlsTransactionCount) {
+  const auto& acc = profile(DatasetId::kAccidents);
+  const auto db = acc.generate(0.01);
+  EXPECT_NEAR(static_cast<double>(db.num_transactions()),
+              static_cast<double>(acc.paper_trans) * 0.01, 1.0);
+  EXPECT_THROW((void)acc.generate(0.0), std::invalid_argument);
+  EXPECT_THROW((void)acc.generate(1.5), std::invalid_argument);
+}
+
+TEST(Profiles, ChessMatchesTable2Exactly) {
+  const auto db = profile(DatasetId::kChess).generate(1.0);
+  const auto s = fim::compute_stats(db);
+  EXPECT_EQ(s.num_transactions, 3196u);    // Table 2 #Trans
+  EXPECT_EQ(s.distinct_items, 75u);        // Table 2 #Item
+  EXPECT_DOUBLE_EQ(s.avg_transaction_length, 37.0);  // Table 2 Avg.length
+}
+
+TEST(Profiles, PumsbShapeTracksTable2) {
+  const auto db = profile(DatasetId::kPumsb).generate(0.2);
+  const auto s = fim::compute_stats(db);
+  EXPECT_DOUBLE_EQ(s.avg_transaction_length, 74.0);
+  // Rare attribute values may not occur at reduced scale; the universe
+  // (2113) bounds the distinct count.
+  EXPECT_LE(s.distinct_items, 2113u);
+  EXPECT_GT(s.distinct_items, 500u);
+  EXPECT_GT(s.top_item_frequency, 0.5);  // dense: near-constant attributes
+}
+
+TEST(Profiles, AccidentsShapeTracksTable2) {
+  const auto db = profile(DatasetId::kAccidents).generate(0.05);
+  const auto s = fim::compute_stats(db);
+  EXPECT_NEAR(s.avg_transaction_length, 34.0, 2.0);
+  EXPECT_LE(s.distinct_items, 468u);
+  EXPECT_GT(s.top_item_frequency, 0.9);  // Geurts: items in >90% of accidents
+}
+
+TEST(Profiles, T40ShapeTracksTable2) {
+  const auto db = profile(DatasetId::kT40I10D100K).generate(0.05);
+  const auto s = fim::compute_stats(db);
+  EXPECT_NEAR(s.avg_transaction_length, 40.0, 4.0);
+  EXPECT_LT(s.top_item_frequency, 0.5);  // sparse, unlike the dense three
+}
+
+}  // namespace

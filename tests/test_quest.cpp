@@ -1,0 +1,109 @@
+#include "datagen/quest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fim/dataset_stats.hpp"
+
+namespace {
+
+using datagen::generate_quest;
+using datagen::QuestParams;
+
+QuestParams small_params() {
+  QuestParams p;
+  p.num_transactions = 2000;
+  p.avg_transaction_len = 10;
+  p.avg_pattern_len = 4;
+  p.num_patterns = 100;
+  p.num_items = 200;
+  p.seed = 99;
+  return p;
+}
+
+TEST(Quest, DeterministicPerSeed) {
+  const auto a = generate_quest(small_params());
+  const auto b = generate_quest(small_params());
+  EXPECT_EQ(a, b);
+  auto p = small_params();
+  p.seed = 100;
+  EXPECT_NE(generate_quest(p), a);
+}
+
+TEST(Quest, ShapeMatchesParameters) {
+  const auto db = generate_quest(small_params());
+  const auto s = fim::compute_stats(db);
+  EXPECT_EQ(s.num_transactions, 2000u);
+  // Average length tracks T within sampling noise (dedup trims slightly).
+  EXPECT_NEAR(s.avg_transaction_length, 10.0, 2.0);
+  EXPECT_LE(s.distinct_items, 200u);
+  EXPECT_GT(s.distinct_items, 100u);
+}
+
+TEST(Quest, ItemIdsStayInUniverse) {
+  const auto db = generate_quest(small_params());
+  EXPECT_LE(db.item_universe(), 200u);
+}
+
+TEST(Quest, TransactionsAreNonEmptyAndNormalized) {
+  const auto db = generate_quest(small_params());
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    const auto tx = db.transaction(t);
+    EXPECT_GE(tx.size(), 1u);
+    EXPECT_TRUE(fim::is_strictly_increasing(tx));
+  }
+}
+
+TEST(Quest, SkewedItemFrequencies) {
+  // Pattern weighting must produce a skewed frequency distribution — the
+  // most frequent item should appear far more often than the median one.
+  const auto db = generate_quest(small_params());
+  auto freq = db.item_frequencies();
+  std::sort(freq.begin(), freq.end(), std::greater<>());
+  ASSERT_GT(freq.size(), 20u);
+  EXPECT_GT(freq[0], 4 * std::max<fim::Support>(freq[freq.size() / 2], 1));
+}
+
+TEST(Quest, CorrelationProducesFrequentPairs) {
+  // Patterns are planted, so some pair must be far more frequent than
+  // independence would allow. Check the top-2 items' co-occurrence.
+  const auto db = generate_quest(small_params());
+  const auto freq = db.item_frequencies();
+  fim::Item top1 = 0, top2 = 1;
+  for (fim::Item x = 0; x < freq.size(); ++x) {
+    if (freq[x] > freq[top1]) {
+      top2 = top1;
+      top1 = x;
+    } else if (x != top1 && freq[x] > freq[top2]) {
+      top2 = x;
+    }
+  }
+  std::size_t both = 0;
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    const auto tx = db.transaction(t);
+    const bool h1 = std::binary_search(tx.begin(), tx.end(), top1);
+    const bool h2 = std::binary_search(tx.begin(), tx.end(), top2);
+    if (h1 && h2) ++both;
+  }
+  EXPECT_GT(both, 0u);
+}
+
+TEST(Quest, T40PresetShape) {
+  auto p = QuestParams::t40i10d100k();
+  p.num_transactions = 4000;  // scaled for test speed
+  const auto db = generate_quest(p);
+  const auto s = fim::compute_stats(db);
+  EXPECT_NEAR(s.avg_transaction_length, 40.0, 4.0);
+  EXPECT_GT(s.distinct_items, 800u);
+  EXPECT_LE(s.distinct_items, 1000u);
+}
+
+TEST(Quest, RejectsEmptySpaces) {
+  QuestParams p = small_params();
+  p.num_items = 0;
+  EXPECT_THROW((void)generate_quest(p), std::invalid_argument);
+  p = small_params();
+  p.num_patterns = 0;
+  EXPECT_THROW((void)generate_quest(p), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// The simulator's intra-phase shared-memory race detector: phases are the
+// code between __syncthreads() calls, so cross-thread shared-memory
+// overlaps within one phase are real-hardware data races even though the
+// sequential simulation computes a deterministic answer.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/gpusim.hpp"
+
+namespace {
+
+using namespace gpusim;
+
+const DeviceProperties props = DeviceProperties::tesla_t10();
+
+/// tid writes slot tid, then READS NEIGHBOR'S SLOT IN THE SAME PHASE — the
+/// classic missing-__syncthreads bug.
+class RacyKernel final : public Kernel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "racy"; }
+  [[nodiscard]] KernelInfo info(const LaunchConfig& cfg) const override {
+    return {.num_phases = 1,
+            .static_shared_bytes = static_cast<std::size_t>(cfg.block.x) * 4,
+            .regs_per_thread = 8};
+  }
+  void run_phase(std::uint32_t, ThreadCtx& t) const override {
+    const std::uint32_t tid = t.flat_tid();
+    const std::uint32_t n = t.block_dim().x;
+    t.st_shared<std::uint32_t>(tid * 4, tid);
+    (void)t.ld_shared<std::uint32_t>(((tid + 1) % n) * 4);
+  }
+};
+
+/// Same computation split over two phases (a barrier between write and
+/// read) — race-free.
+class FixedKernel final : public Kernel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "fixed"; }
+  [[nodiscard]] KernelInfo info(const LaunchConfig& cfg) const override {
+    return {.num_phases = 2,
+            .static_shared_bytes = static_cast<std::size_t>(cfg.block.x) * 4,
+            .regs_per_thread = 8};
+  }
+  void run_phase(std::uint32_t phase, ThreadCtx& t) const override {
+    const std::uint32_t tid = t.flat_tid();
+    const std::uint32_t n = t.block_dim().x;
+    if (phase == 0)
+      t.st_shared<std::uint32_t>(tid * 4, tid);
+    else
+      (void)t.ld_shared<std::uint32_t>(((tid + 1) % n) * 4);
+  }
+};
+
+/// Two threads write the same slot in one phase.
+class WriteWriteKernel final : public Kernel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ww"; }
+  [[nodiscard]] KernelInfo info(const LaunchConfig&) const override {
+    return {.num_phases = 1, .static_shared_bytes = 64, .regs_per_thread = 8};
+  }
+  void run_phase(std::uint32_t, ThreadCtx& t) const override {
+    t.st_shared<std::uint32_t>(0, t.flat_tid());
+  }
+};
+
+TEST(RaceDetector, FlagsMissingBarrier) {
+  GlobalMemory mem(4096);
+  RacyKernel k;
+  const auto stats =
+      run_kernel(k, {Dim3{1}, Dim3{64}}, mem, props, {.sample_stride = 1});
+  EXPECT_GT(stats.shared_race_hazards, 0u);
+}
+
+TEST(RaceDetector, BarrierFixesTheRace) {
+  GlobalMemory mem(4096);
+  FixedKernel k;
+  const auto stats =
+      run_kernel(k, {Dim3{1}, Dim3{64}}, mem, props, {.sample_stride = 1});
+  EXPECT_EQ(stats.shared_race_hazards, 0u);
+}
+
+TEST(RaceDetector, FlagsWriteWriteConflicts) {
+  GlobalMemory mem(4096);
+  WriteWriteKernel k;
+  const auto stats =
+      run_kernel(k, {Dim3{1}, Dim3{32}}, mem, props, {.sample_stride = 1});
+  EXPECT_GT(stats.shared_race_hazards, 0u);
+}
+
+TEST(RaceDetector, SameThreadReadAfterWriteIsFine) {
+  class SelfKernel final : public Kernel {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "self"; }
+    [[nodiscard]] KernelInfo info(const LaunchConfig& cfg) const override {
+      return {.num_phases = 1,
+              .static_shared_bytes = static_cast<std::size_t>(cfg.block.x) * 4,
+              .regs_per_thread = 8};
+    }
+    void run_phase(std::uint32_t, ThreadCtx& t) const override {
+      t.st_shared<std::uint32_t>(t.flat_tid() * 4, 7u);
+      (void)t.ld_shared<std::uint32_t>(t.flat_tid() * 4);
+    }
+  } k;
+  GlobalMemory mem(4096);
+  const auto stats =
+      run_kernel(k, {Dim3{1}, Dim3{64}}, mem, props, {.sample_stride = 1});
+  EXPECT_EQ(stats.shared_race_hazards, 0u);
+}
+
+TEST(RaceDetector, CanBeDisabled) {
+  GlobalMemory mem(4096);
+  RacyKernel k;
+  const auto stats = run_kernel(
+      k, {Dim3{1}, Dim3{64}}, mem, props,
+      {.sample_stride = 1, .detect_shared_races = false});
+  EXPECT_EQ(stats.shared_race_hazards, 0u);
+}
+
+TEST(RaceDetector, PartialWordOverlapIsDetected) {
+  // One thread writes a 4-byte word, another reads a single overlapping
+  // byte offset within it.
+  class OverlapKernel final : public Kernel {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "ovl"; }
+    [[nodiscard]] KernelInfo info(const LaunchConfig&) const override {
+      return {.num_phases = 1, .static_shared_bytes = 64,
+              .regs_per_thread = 8};
+    }
+    void run_phase(std::uint32_t, ThreadCtx& t) const override {
+      if (t.flat_tid() == 0) t.st_shared<std::uint32_t>(0, 1u);
+      if (t.flat_tid() == 1) (void)t.ld_shared<std::uint8_t>(2);
+    }
+  } k;
+  GlobalMemory mem(4096);
+  const auto stats =
+      run_kernel(k, {Dim3{1}, Dim3{32}}, mem, props, {.sample_stride = 1});
+  EXPECT_GT(stats.shared_race_hazards, 0u);
+}
+
+// The production kernels must themselves be race-free: this is asserted
+// where they run with sample_stride=1 (test_support_kernel/test_gpapriori
+// configs); here we spot-check the claim directly for the support kernel's
+// reduction shape at several block sizes.
+TEST(RaceDetector, ReductionPatternIsRaceFree) {
+  class Reduction final : public Kernel {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "red"; }
+    [[nodiscard]] KernelInfo info(const LaunchConfig& cfg) const override {
+      const auto log2b = static_cast<std::uint32_t>(
+          std::countr_zero(cfg.block.x));
+      return {.num_phases = 1 + log2b,
+              .static_shared_bytes = static_cast<std::size_t>(cfg.block.x) * 4,
+              .regs_per_thread = 8};
+    }
+    void run_phase(std::uint32_t phase, ThreadCtx& t) const override {
+      const std::uint32_t tid = t.flat_tid();
+      if (phase == 0) {
+        t.st_shared<std::uint32_t>(tid * 4, tid);
+        return;
+      }
+      const std::uint32_t stride = t.block_dim().x >> phase;
+      if (tid < stride) {
+        const auto a = t.ld_shared<std::uint32_t>(tid * 4);
+        const auto b = t.ld_shared<std::uint32_t>((tid + stride) * 4);
+        t.st_shared<std::uint32_t>(tid * 4, a + b);
+      }
+    }
+  } k;
+  GlobalMemory mem(4096);
+  for (std::uint32_t block : {32u, 128u, 512u}) {
+    const auto stats = run_kernel(k, {Dim3{1}, Dim3{block}}, mem, props,
+                                  {.sample_stride = 1});
+    EXPECT_EQ(stats.shared_race_hazards, 0u) << block;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+#include "fim/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using fim::Itemset;
+using fim::ItemsetCollection;
+
+ItemsetCollection sample() {
+  ItemsetCollection c;
+  c.add(Itemset{2}, 5);
+  c.add(Itemset{1}, 7);
+  c.add(Itemset{1, 2}, 3);
+  return c;
+}
+
+TEST(ItemsetCollection, CanonicalizeSortsLexicographically) {
+  auto c = sample();
+  c.canonicalize();
+  EXPECT_EQ(c.sets()[0].items, Itemset{1});
+  EXPECT_EQ(c.sets()[1].items, (Itemset{1, 2}));
+  EXPECT_EQ(c.sets()[2].items, Itemset{2});
+}
+
+TEST(ItemsetCollection, SupportLookupLinearAndIndexed) {
+  auto c = sample();
+  EXPECT_EQ(c.support_of(Itemset{1, 2}), 3u);
+  EXPECT_EQ(c.support_of(Itemset{9}), std::nullopt);
+  c.build_index();
+  EXPECT_EQ(c.support_of(Itemset{1}), 7u);
+  EXPECT_EQ(c.support_of(Itemset{3}), std::nullopt);
+}
+
+TEST(ItemsetCollection, CountsBySize) {
+  auto c = sample();
+  c.add(Itemset{1, 2, 3}, 1);
+  const auto counts = c.counts_by_size();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(c.max_size(), 3u);
+}
+
+TEST(ItemsetCollection, EquivalenceIgnoresOrder) {
+  ItemsetCollection a, b;
+  a.add(Itemset{1}, 2);
+  a.add(Itemset{2}, 3);
+  b.add(Itemset{2}, 3);
+  b.add(Itemset{1}, 2);
+  EXPECT_TRUE(a.equivalent_to(b));
+}
+
+TEST(ItemsetCollection, EquivalenceIsSupportSensitive) {
+  ItemsetCollection a, b;
+  a.add(Itemset{1}, 2);
+  b.add(Itemset{1}, 3);
+  EXPECT_FALSE(a.equivalent_to(b));
+}
+
+TEST(ItemsetCollection, EquivalenceIsSizeSensitive) {
+  ItemsetCollection a, b;
+  a.add(Itemset{1}, 2);
+  EXPECT_FALSE(a.equivalent_to(b));
+  EXPECT_TRUE(b.equivalent_to(ItemsetCollection{}));
+}
+
+TEST(ItemsetCollection, ToStringCanonical) {
+  auto c = sample();
+  EXPECT_EQ(c.to_string(), "1 (7)\n1 2 (3)\n2 (5)\n");
+}
+
+TEST(ItemsetCollection, EmptyCollection) {
+  const ItemsetCollection c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.max_size(), 0u);
+  EXPECT_TRUE(c.counts_by_size().empty());
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+#include "datagen/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace {
+
+using datagen::Rng;
+using datagen::WeightedPicker;
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const double va = a.uniform();
+    EXPECT_DOUBLE_EQ(va, b.uniform());
+    EXPECT_GE(va, 0.0);
+    EXPECT_LT(va, 1.0);
+  }
+  // Different seed, different stream (overwhelmingly likely).
+  Rng a2(42);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i)
+    if (a2.uniform() != c.uniform()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(7), 7u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(2);
+  std::array<int, 5> counts{};
+  constexpr int n = 50'000;
+  for (int i = 0; i < n; ++i) counts[r.below(5)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 5 * 0.1);
+}
+
+TEST(Rng, PoissonMeanAndPositivity) {
+  Rng r(3);
+  double sum = 0;
+  constexpr int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(10.0));
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(4);
+  double sum = 0;
+  constexpr int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  Rng r(5);
+  double sum = 0, sq = 0;
+  constexpr int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.1);
+}
+
+TEST(Rng, SkewedBelowConcentratesAtZero) {
+  Rng r(6);
+  std::array<int, 8> counts{};
+  constexpr int n = 40'000;
+  for (int i = 0; i < n; ++i) counts[r.skewed_below(8, 0.6)]++;
+  // Geometric: each bucket roughly 0.4x the previous.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[0], 0.4, 0.05);
+}
+
+TEST(Rng, SkewedBelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.skewed_below(3, 0.05), 3u);
+}
+
+TEST(WeightedPickerTest, FollowsWeights) {
+  const std::vector<double> w{1.0, 3.0, 0.0, 4.0};
+  WeightedPicker p(w);
+  Rng r(8);
+  std::array<int, 4> counts{};
+  constexpr int n = 80'000;
+  for (int i = 0; i < n; ++i) counts[p.pick(r)]++;
+  EXPECT_NEAR(counts[0], n / 8.0, n * 0.01);
+  EXPECT_NEAR(counts[1], n * 3 / 8.0, n * 0.015);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3], n / 2.0, n * 0.015);
+}
+
+TEST(WeightedPickerTest, RejectsDegenerateInput) {
+  const std::vector<double> empty;
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(WeightedPicker{empty}, std::invalid_argument);
+  EXPECT_THROW(WeightedPicker{zeros}, std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,44 @@
+#include "gpusim/shared_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using gpusim::SharedMemory;
+using gpusim::SimError;
+
+TEST(SharedMemory, RoundTrip) {
+  SharedMemory s(64);
+  s.store<std::uint32_t>(12, 0xABCDu);
+  EXPECT_EQ(s.load<std::uint32_t>(12), 0xABCDu);
+}
+
+TEST(SharedMemory, InitiallyZero) {
+  SharedMemory s(16);
+  for (std::size_t off = 0; off < 16; off += 4)
+    EXPECT_EQ(s.load<std::uint32_t>(off), 0u);
+}
+
+TEST(SharedMemory, ResetZeroesAndResizes) {
+  SharedMemory s(8);
+  s.store<std::uint32_t>(0, 7u);
+  s.reset(32);
+  EXPECT_EQ(s.size(), 32u);
+  EXPECT_EQ(s.load<std::uint32_t>(0), 0u);
+}
+
+TEST(SharedMemory, OutOfBoundsThrows) {
+  SharedMemory s(16);
+  EXPECT_THROW((void)s.load<std::uint32_t>(13), SimError);   // straddles end
+  EXPECT_THROW(s.store<std::uint64_t>(12, 1ull), SimError);
+  EXPECT_NO_THROW((void)s.load<std::uint32_t>(12));
+}
+
+TEST(SharedMemory, MixedWidthAccess) {
+  SharedMemory s(8);
+  s.store<std::uint64_t>(0, 0x1122334455667788ull);
+  EXPECT_EQ(s.load<std::uint32_t>(0), 0x55667788u);  // little-endian host
+  EXPECT_EQ(s.load<std::uint32_t>(4), 0x11223344u);
+}
+
+}  // namespace

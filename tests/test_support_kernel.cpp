@@ -1,0 +1,235 @@
+#include "core/support_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/candidate_trie.hpp"
+#include "fim/bitset_ops.hpp"
+#include "gpusim/device_context.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using fim::BitsetStore;
+using gpapriori::SupportKernel;
+using gpusim::Device;
+using gpusim::DeviceOptions;
+using gpusim::DeviceProperties;
+
+struct KernelCase {
+  std::uint32_t block_size;
+  std::uint32_t k;
+  bool preload;
+  std::uint32_t unroll;
+  std::size_t num_trans;
+};
+
+std::string case_name(const testing::TestParamInfo<KernelCase>& info) {
+  const auto& c = info.param;
+  return "b" + std::to_string(c.block_size) + "_k" + std::to_string(c.k) +
+         (c.preload ? "_pre" : "_nopre") + "_u" + std::to_string(c.unroll) +
+         "_t" + std::to_string(c.num_trans);
+}
+
+/// Uploads the store, counts all k-item candidates over `rows` items with
+/// the kernel, and returns the supports.
+std::vector<fim::Support> run_support(const BitsetStore& store,
+                                      const std::vector<std::uint32_t>& flat,
+                                      std::uint32_t k, const KernelCase& c,
+                                      Device& dev) {
+  const std::uint32_t ncand = static_cast<std::uint32_t>(flat.size()) / k;
+  auto d_bits = dev.alloc<std::uint32_t>(store.arena().size(), 64);
+  dev.copy_to_device(d_bits, store.arena());
+  auto d_cand = dev.alloc<std::uint32_t>(flat.size());
+  dev.copy_to_device(d_cand, std::span<const std::uint32_t>(flat));
+  auto d_sup = dev.alloc<std::uint32_t>(ncand);
+
+  SupportKernel::Args args;
+  args.bitsets = d_bits;
+  args.stride_words = static_cast<std::uint32_t>(store.row_stride_words());
+  args.words_per_row = static_cast<std::uint32_t>(store.words_per_row());
+  args.candidates = d_cand;
+  args.k = k;
+  args.supports = d_sup;
+  SupportKernel kernel(args, c.preload, c.unroll);
+  dev.launch(kernel, {gpusim::Dim3{ncand}, gpusim::Dim3{c.block_size}});
+
+  std::vector<std::uint32_t> sup(ncand);
+  dev.copy_to_host(std::span<std::uint32_t>(sup), d_sup);
+  dev.free(d_bits);
+  dev.free(d_cand);
+  dev.free(d_sup);
+  return sup;
+}
+
+class SupportKernelSweep : public testing::TestWithParam<KernelCase> {};
+
+TEST_P(SupportKernelSweep, MatchesCpuAndPopcount) {
+  const auto& c = GetParam();
+  const std::size_t items = 8;
+  const auto db = testutil::random_db(c.num_trans, items, 0.4, 123);
+  std::vector<fim::Item> rows;
+  for (fim::Item x = 0; x < items; ++x) rows.push_back(x);
+  const auto store = BitsetStore::from_db(db, rows);
+
+  // All k-combinations of the 8 rows as candidates (trie-order irrelevant).
+  gpapriori::CandidateTrie trie(items);
+  std::vector<std::uint32_t> flat;
+  for (std::uint32_t lvl = 2; lvl <= c.k; ++lvl) {
+    trie.extend();
+    std::vector<fim::Support> all(trie.level_size(lvl), 100);
+    trie.mark_frequent(lvl, all, 1);
+  }
+  flat = c.k == 1 ? std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5, 6, 7}
+                  : trie.flatten_level(c.k);
+
+  DeviceOptions opts;
+  opts.arena_bytes = 32 << 20;
+  opts.strict_memory = true;  // every device access block-checked
+  opts.executor.sample_stride = 1;
+  Device dev(DeviceProperties::tesla_t10(), opts);
+  const auto sup = run_support(store, flat, c.k, c, dev);
+
+  const std::size_t ncand = flat.size() / c.k;
+  for (std::size_t i = 0; i < ncand; ++i) {
+    const auto expect = store.and_popcount(
+        std::span<const std::uint32_t>(flat).subspan(i * c.k, c.k));
+    ASSERT_EQ(sup[i], expect) << "candidate " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SupportKernelSweep,
+    testing::Values(
+        // Block-size sweep (the §IV.3 hand-tuned knob).
+        KernelCase{32, 2, true, 4, 500}, KernelCase{64, 2, true, 4, 500},
+        KernelCase{128, 2, true, 4, 500}, KernelCase{256, 2, true, 4, 500},
+        KernelCase{512, 2, true, 4, 500},
+        // Candidate length sweep.
+        KernelCase{128, 1, true, 4, 700}, KernelCase{128, 3, true, 4, 700},
+        KernelCase{128, 4, true, 4, 700},
+        // Optimization toggles must not change results.
+        KernelCase{128, 3, false, 4, 700}, KernelCase{128, 3, true, 1, 700},
+        KernelCase{128, 3, false, 1, 700},
+        // Edge shapes: fewer transactions than one word, word boundary,
+        // more words than threads.
+        KernelCase{64, 2, true, 4, 17}, KernelCase{64, 2, true, 4, 64},
+        KernelCase{32, 2, true, 4, 5000}),
+    case_name);
+
+TEST(SupportKernel, BatchOffsetCountsTheRightCandidates) {
+  const auto db = testutil::random_db(300, 6, 0.5, 9);
+  std::vector<fim::Item> rows{0, 1, 2, 3, 4, 5};
+  const auto store = BitsetStore::from_db(db, rows);
+  // 4 two-item candidates; count the last two via first_candidate = 2.
+  const std::vector<std::uint32_t> flat{0, 1, 1, 2, 2, 3, 4, 5};
+
+  DeviceOptions opts;
+  opts.arena_bytes = 8 << 20;
+  opts.strict_memory = true;
+  Device dev(DeviceProperties::tesla_t10(), opts);
+  auto d_bits = dev.alloc<std::uint32_t>(store.arena().size(), 64);
+  dev.copy_to_device(d_bits, store.arena());
+  auto d_cand = dev.alloc<std::uint32_t>(flat.size());
+  dev.copy_to_device(d_cand, std::span<const std::uint32_t>(flat));
+  auto d_sup = dev.alloc<std::uint32_t>(4);
+
+  SupportKernel::Args args;
+  args.bitsets = d_bits;
+  args.stride_words = static_cast<std::uint32_t>(store.row_stride_words());
+  args.words_per_row = static_cast<std::uint32_t>(store.words_per_row());
+  args.candidates = d_cand;
+  args.k = 2;
+  args.first_candidate = 2;
+  args.supports = d_sup;
+  SupportKernel kernel(args, true, 4);
+  dev.launch(kernel, {gpusim::Dim3{2}, gpusim::Dim3{64}});
+
+  std::vector<std::uint32_t> sup(4);
+  dev.copy_to_host(std::span<std::uint32_t>(sup), d_sup);
+  const std::uint32_t c2[] = {2, 3}, c3[] = {4, 5};
+  EXPECT_EQ(sup[2], store.and_popcount(c2));
+  EXPECT_EQ(sup[3], store.and_popcount(c3));
+}
+
+TEST(SupportKernel, BitsetLoadsAreWellCoalesced) {
+  // The Fig. 3 claim, bitset side: strided word loads over 64 B-aligned
+  // rows coalesce nearly perfectly.
+  const auto db = testutil::random_db(4096, 4, 0.5, 3);
+  std::vector<fim::Item> rows{0, 1, 2, 3};
+  const auto store = BitsetStore::from_db(db, rows);
+  const std::vector<std::uint32_t> flat{0, 1, 1, 2, 2, 3};
+
+  DeviceOptions opts;
+  opts.arena_bytes = 8 << 20;
+  opts.executor.sample_stride = 1;
+  Device dev(DeviceProperties::tesla_t10(), opts);
+  auto d_bits = dev.alloc<std::uint32_t>(store.arena().size(), 64);
+  dev.copy_to_device(d_bits, store.arena());
+  auto d_cand = dev.alloc<std::uint32_t>(flat.size());
+  dev.copy_to_device(d_cand, std::span<const std::uint32_t>(flat));
+  auto d_sup = dev.alloc<std::uint32_t>(3);
+
+  SupportKernel::Args args;
+  args.bitsets = d_bits;
+  args.stride_words = static_cast<std::uint32_t>(store.row_stride_words());
+  args.words_per_row = static_cast<std::uint32_t>(store.words_per_row());
+  args.candidates = d_cand;
+  args.k = 2;
+  args.supports = d_sup;
+  SupportKernel kernel(args, true, 4);
+  const auto stats = dev.launch(kernel, {gpusim::Dim3{3}, gpusim::Dim3{128}});
+  EXPECT_GT(stats.gmem_load_coalescing.efficiency(), 0.9);
+  // The AND/popcount phase itself is divergence-free; the only divergent
+  // warp phases are the structural ones (preload, reduction tail,
+  // writeback), which are bounded per block independent of data size.
+  const auto info = kernel.info({gpusim::Dim3{3}, gpusim::Dim3{128}});
+  EXPECT_LE(stats.counters.divergent_warp_phases,
+            stats.counters.blocks * info.num_phases);
+  // The phase structure (preload / accumulate / reduction / writeback) must
+  // be free of intra-phase shared-memory races.
+  EXPECT_EQ(stats.shared_race_hazards, 0u);
+}
+
+TEST(SupportKernel, PreloadReducesGlobalLoads) {
+  const auto db = testutil::random_db(4096, 4, 0.5, 3);
+  std::vector<fim::Item> rows{0, 1, 2, 3};
+  const auto store = BitsetStore::from_db(db, rows);
+  const std::vector<std::uint32_t> flat{0, 1, 2, 3};  // one 4-item candidate
+
+  auto run = [&](bool preload) {
+    DeviceOptions opts;
+    opts.arena_bytes = 8 << 20;
+    Device dev(DeviceProperties::tesla_t10(), opts);
+    auto d_bits = dev.alloc<std::uint32_t>(store.arena().size(), 64);
+    dev.copy_to_device(d_bits, store.arena());
+    auto d_cand = dev.alloc<std::uint32_t>(flat.size());
+    dev.copy_to_device(d_cand, std::span<const std::uint32_t>(flat));
+    auto d_sup = dev.alloc<std::uint32_t>(1);
+    SupportKernel::Args args;
+    args.bitsets = d_bits;
+    args.stride_words = static_cast<std::uint32_t>(store.row_stride_words());
+    args.words_per_row = static_cast<std::uint32_t>(store.words_per_row());
+    args.candidates = d_cand;
+    args.k = 4;
+    args.supports = d_sup;
+    SupportKernel kernel(args, preload, 4);
+    return dev.launch(kernel, {gpusim::Dim3{1}, gpusim::Dim3{64}});
+  };
+
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_LT(with.counters.global_loads, without.counters.global_loads);
+  // Results identical is covered by the sweep; here check the cost model
+  // sees the optimization.
+  EXPECT_LE(with.timing.total_ns, without.timing.total_ns);
+}
+
+TEST(SupportKernel, PhaseCountFormula) {
+  EXPECT_EQ(SupportKernel::phase_count(32), 1u + 1u + 5u + 1u);
+  EXPECT_EQ(SupportKernel::phase_count(256), 1u + 1u + 8u + 1u);
+  EXPECT_EQ(SupportKernel::phase_count(512), 1u + 1u + 9u + 1u);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+#include "gpusim/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/occupancy.hpp"
+
+namespace {
+
+using namespace gpusim;
+
+const DeviceProperties t10 = DeviceProperties::tesla_t10();
+
+KernelStats make_stats(std::uint64_t warp_instr, std::uint64_t load_bytes,
+                       std::uint64_t blocks, std::uint32_t tpb,
+                       double overfetch = 1.0) {
+  KernelStats s;
+  s.config = {Dim3{static_cast<std::uint32_t>(blocks)}, Dim3{tpb}};
+  s.counters.blocks = blocks;
+  s.counters.threads = blocks * tpb;
+  s.counters.warp_instructions = warp_instr;
+  s.counters.thread_instructions = warp_instr * 32;
+  s.counters.global_load_bytes = load_bytes;
+  s.counters.global_loads = load_bytes / 4;
+  s.occupancy = compute_occupancy(t10, tpb, 1024, 14);
+  // Seed the sampled coalescing stats to encode the requested overfetch.
+  s.gmem_load_coalescing.requests = 100;
+  s.gmem_load_coalescing.transactions = 100;
+  s.gmem_load_coalescing.bytes_requested = 1000;
+  s.gmem_load_coalescing.bytes_transferred =
+      static_cast<std::uint64_t>(1000 * overfetch);
+  return s;
+}
+
+TEST(Timing, ComputeBoundKernelIsComputeLimited) {
+  // Lots of warp instructions, almost no memory.
+  const auto s = make_stats(/*warp_instr=*/10'000'000, /*load_bytes=*/1024,
+                            /*blocks=*/1000, /*tpb=*/256);
+  const auto t = estimate_kernel_time(s, t10);
+  EXPECT_GT(t.compute_ns, t.memory_ns);
+  EXPECT_NEAR(t.total_ns, t.launch_overhead_ns + t.compute_ns, 1e-6);
+}
+
+TEST(Timing, MemoryBoundKernelIsMemoryLimited) {
+  const auto s = make_stats(/*warp_instr=*/1000, /*load_bytes=*/500'000'000,
+                            /*blocks=*/1000, /*tpb=*/256);
+  const auto t = estimate_kernel_time(s, t10);
+  EXPECT_GT(t.memory_ns, t.compute_ns);
+}
+
+TEST(Timing, ComputeTimeMatchesIssueModel) {
+  // 30 SMs busy, 4 cycles per warp instruction at 1.296 GHz.
+  const std::uint64_t wi = 3'000'000;
+  const auto s = make_stats(wi, 1024, /*blocks=*/300, /*tpb=*/256);
+  const auto t = estimate_kernel_time(s, t10);
+  const double expect_ns = static_cast<double>(wi) * 4.0 / (30.0 * 1.296);
+  EXPECT_NEAR(t.compute_ns, expect_ns, expect_ns * 1e-9);
+}
+
+TEST(Timing, OverfetchInflatesDramTraffic) {
+  const auto a = estimate_kernel_time(
+      make_stats(1000, 100'000'000, 1000, 256, /*overfetch=*/1.0), t10);
+  const auto b = estimate_kernel_time(
+      make_stats(1000, 100'000'000, 1000, 256, /*overfetch=*/4.0), t10);
+  EXPECT_NEAR(b.dram_bytes / a.dram_bytes, 4.0, 1e-9);
+  EXPECT_GT(b.memory_ns, a.memory_ns * 3.9);
+}
+
+TEST(Timing, FewBlocksLeaveSmsIdle) {
+  // One block cannot use more than one SM; same totals take ~30x longer.
+  const auto one = estimate_kernel_time(
+      make_stats(1'000'000, 1024, /*blocks=*/1, /*tpb=*/256), t10);
+  const auto many = estimate_kernel_time(
+      make_stats(1'000'000, 1024, /*blocks=*/300, /*tpb=*/256), t10);
+  EXPECT_EQ(one.effective_sms, 1);
+  EXPECT_EQ(many.effective_sms, 30);
+  EXPECT_NEAR(one.compute_ns / many.compute_ns, 30.0, 1e-6);
+}
+
+TEST(Timing, LowOccupancyDegradesBandwidth) {
+  auto low = make_stats(1000, 100'000'000, 1000, 64);
+  low.occupancy = compute_occupancy(t10, 64, 8 * 1024, 14);  // smem-limited
+  const auto t_low = estimate_kernel_time(low, t10);
+  const auto t_high = estimate_kernel_time(
+      make_stats(1000, 100'000'000, 1000, 256), t10);
+  EXPECT_LT(t_low.effective_bandwidth_gbps, t_high.effective_bandwidth_gbps);
+  EXPECT_GT(t_low.memory_ns, t_high.memory_ns);
+}
+
+TEST(Timing, LaunchOverheadIsAFloor) {
+  const auto t = estimate_kernel_time(make_stats(1, 4, 1, 32), t10);
+  EXPECT_GE(t.total_ns, t10.kernel_launch_us * 1000.0);
+}
+
+TEST(Timing, TransferModel) {
+  const double small = estimate_transfer_ns(4, t10);
+  const double big = estimate_transfer_ns(100'000'000, t10);
+  // Latency floor dominates tiny copies.
+  EXPECT_NEAR(small, t10.pcie_latency_us * 1000.0, 100.0);
+  // Large copies approach bytes / bandwidth.
+  EXPECT_NEAR(big, 1e8 / t10.pcie_bandwidth_gbps, 1e8 / t10.pcie_bandwidth_gbps * 0.01);
+  EXPECT_GT(big, small);
+}
+
+TEST(Timing, SharedReplaysAddComputeTime) {
+  auto base = make_stats(1'000'000, 1024, 300, 256);
+  base.counters.shared_loads = 50'000'000;
+  base.shared_requests_sampled = 1000;
+  base.shared_serialization_sampled = 2000;  // conflict-free
+  const auto clean = estimate_kernel_time(base, t10);
+  base.shared_serialization_sampled = 16'000;  // 8-way conflicts
+  const auto conflicted = estimate_kernel_time(base, t10);
+  EXPECT_GT(conflicted.compute_ns, clean.compute_ns);
+}
+
+TEST(Timing, DevicePresetSanity) {
+  EXPECT_EQ(t10.sm_count, 30);
+  EXPECT_DOUBLE_EQ(t10.cycles_per_warp_instruction(), 4.0);
+  EXPECT_EQ(t10.max_threads_per_block, 512);
+  EXPECT_EQ(t10.shared_mem_per_sm, 16u * 1024u);
+}
+
+}  // namespace

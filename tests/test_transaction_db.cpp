@@ -1,0 +1,89 @@
+#include "fim/transaction_db.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using fim::Item;
+using fim::TransactionDb;
+
+TEST(TransactionDb, BasicShape) {
+  const auto db = TransactionDb::from_transactions({{1, 2}, {0, 2, 4}, {}});
+  EXPECT_EQ(db.num_transactions(), 3u);
+  EXPECT_EQ(db.item_universe(), 5u);
+  EXPECT_EQ(db.total_items(), 5u);
+  EXPECT_EQ(db.transaction(0).size(), 2u);
+  EXPECT_EQ(db.transaction(2).size(), 0u);
+}
+
+TEST(TransactionDb, TransactionsAreNormalized) {
+  const auto db = TransactionDb::from_transactions({{5, 1, 5, 3}});
+  const auto tx = db.transaction(0);
+  ASSERT_EQ(tx.size(), 3u);
+  EXPECT_EQ(tx[0], 1u);
+  EXPECT_EQ(tx[1], 3u);
+  EXPECT_EQ(tx[2], 5u);
+}
+
+TEST(TransactionDb, EmptyDatabase) {
+  const auto db = TransactionDb::from_transactions({});
+  EXPECT_EQ(db.num_transactions(), 0u);
+  EXPECT_EQ(db.item_universe(), 0u);
+}
+
+TEST(TransactionDb, ItemFrequencies) {
+  const auto db =
+      TransactionDb::from_transactions({{0, 1}, {1, 2}, {1}, {0, 2}});
+  const auto f = db.item_frequencies();
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], 2u);
+  EXPECT_EQ(f[1], 3u);
+  EXPECT_EQ(f[2], 2u);
+}
+
+TEST(TransactionDb, FilterRemapDropsAndRenumbers) {
+  const auto db =
+      TransactionDb::from_transactions({{0, 1, 2}, {1, 2, 3}, {0, 3}});
+  // Keep items 1 and 3, renumber 1->1, 3->0 (descending-style remap).
+  std::vector<bool> keep{false, true, false, true};
+  std::vector<Item> new_id{0, 1, 0, 0};
+  const auto out = db.filter_remap(keep, new_id);
+  EXPECT_EQ(out.num_transactions(), 3u);
+  EXPECT_EQ(out.item_universe(), 2u);
+  // {0,1,2} -> {1}; {1,2,3} -> {0,1} (sorted); {0,3} -> {0}
+  ASSERT_EQ(out.transaction(0).size(), 1u);
+  EXPECT_EQ(out.transaction(0)[0], 1u);
+  ASSERT_EQ(out.transaction(1).size(), 2u);
+  EXPECT_EQ(out.transaction(1)[0], 0u);
+  EXPECT_EQ(out.transaction(1)[1], 1u);
+  ASSERT_EQ(out.transaction(2).size(), 1u);
+  EXPECT_EQ(out.transaction(2)[0], 0u);
+}
+
+TEST(TransactionDb, FilterRemapKeepsEmptiedTransactions) {
+  const auto db = TransactionDb::from_transactions({{0}, {1}});
+  const auto out =
+      db.filter_remap({false, true}, {0, 0});
+  EXPECT_EQ(out.num_transactions(), 2u);  // ratio denominators preserved
+  EXPECT_EQ(out.transaction(0).size(), 0u);
+}
+
+TEST(TransactionDb, BuilderIncremental) {
+  TransactionDb::Builder b;
+  b.add({3, 1});
+  b.add({});
+  b.add({7});
+  const auto db = std::move(b).build();
+  EXPECT_EQ(db.num_transactions(), 3u);
+  EXPECT_EQ(db.item_universe(), 8u);
+}
+
+TEST(TransactionDb, Equality) {
+  const auto a = TransactionDb::from_transactions({{1, 2}, {3}});
+  const auto b = TransactionDb::from_transactions({{2, 1}, {3}});
+  const auto c = TransactionDb::from_transactions({{1, 2}, {4}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+#pragma once
+// Shared test utilities: a brute-force reference miner (the independent
+// oracle every real miner is checked against) and small random-database
+// generation for property-style sweeps.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "fim/itemset.hpp"
+#include "fim/result.hpp"
+#include "fim/transaction_db.hpp"
+
+namespace testutil {
+
+/// Counts the transactions containing `items` by scanning the database.
+inline fim::Support naive_support(const fim::TransactionDb& db,
+                                  const fim::Itemset& items) {
+  fim::Support n = 0;
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    const auto tx = db.transaction(t);
+    if (std::includes(tx.begin(), tx.end(), items.begin(), items.end())) ++n;
+  }
+  return n;
+}
+
+/// Brute-force frequent itemset miner: depth-first item extension with the
+/// anti-monotone prune, every support computed by full database scan.
+/// Deliberately shares no code with the real miners.
+inline fim::ItemsetCollection brute_force(const fim::TransactionDb& db,
+                                          fim::Support min_count,
+                                          std::size_t max_size = 0) {
+  fim::ItemsetCollection out;
+  std::vector<fim::Item> present;
+  for (fim::Item x = 0; x < db.item_universe(); ++x) present.push_back(x);
+
+  struct Frame {
+    fim::Itemset set;
+    std::size_t next_index;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({fim::Itemset{}, 0});
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    for (std::size_t i = f.next_index; i < present.size(); ++i) {
+      fim::Itemset cand = f.set.with(present[i]);
+      const fim::Support sup = naive_support(db, cand);
+      if (sup < min_count) continue;
+      out.add(cand, sup);
+      if (max_size == 0 || cand.size() < max_size)
+        stack.push_back({std::move(cand), i + 1});
+    }
+  }
+  out.canonicalize();
+  return out;
+}
+
+/// Random transaction database: `num_trans` transactions over `universe`
+/// items, each item included with probability `density`. Deterministic in
+/// the seed.
+inline fim::TransactionDb random_db(std::size_t num_trans,
+                                    std::size_t universe, double density,
+                                    std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<std::vector<fim::Item>> txs(num_trans);
+  for (auto& tx : txs)
+    for (fim::Item x = 0; x < universe; ++x)
+      if (u(rng) < density) tx.push_back(x);
+  return fim::TransactionDb::from_transactions(txs);
+}
+
+}  // namespace testutil

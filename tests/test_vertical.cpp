@@ -1,0 +1,84 @@
+#include "fim/vertical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fim/transaction_db.hpp"
+
+namespace {
+
+using fim::Tid;
+using fim::TransactionDb;
+using fim::VerticalDb;
+
+// The paper's Fig. 2 database: transactions (1-indexed items, tids 1..4 in
+// the figure; 0-indexed here).
+TransactionDb fig2_db() {
+  return TransactionDb::from_transactions({
+      {1, 2, 3, 4, 5},
+      {2, 3, 4, 5, 6},
+      {3, 4, 6, 7},
+      {1, 3, 4, 5, 6},
+  });
+}
+
+TEST(Vertical, PaperFig2Tidsets) {
+  const auto v = VerticalDb::from_horizontal(fig2_db());
+  // Fig. 2B (converted to 0-based tids): item 1 -> {1,4}, item 2 -> {1,2},
+  // item 3 -> {1,2,3,4}, item 7 -> {3}.
+  EXPECT_EQ(v.tidsets[1], (std::vector<Tid>{0, 3}));
+  EXPECT_EQ(v.tidsets[2], (std::vector<Tid>{0, 1}));
+  EXPECT_EQ(v.tidsets[3], (std::vector<Tid>{0, 1, 2, 3}));
+  EXPECT_EQ(v.tidsets[4], (std::vector<Tid>{0, 1, 2, 3}));
+  EXPECT_EQ(v.tidsets[5], (std::vector<Tid>{0, 1, 3}));
+  EXPECT_EQ(v.tidsets[6], (std::vector<Tid>{1, 2, 3}));
+  EXPECT_EQ(v.tidsets[7], (std::vector<Tid>{2}));
+  EXPECT_EQ(v.support(3), 4u);
+  EXPECT_EQ(v.num_transactions, 4u);
+}
+
+TEST(Vertical, PaperFig2JoinExample) {
+  // Fig. 2B bottom: tidset(1,2) = {1} (1-based) = {0}, tidset(1,4) = {1,4}.
+  const auto v = VerticalDb::from_horizontal(fig2_db());
+  EXPECT_EQ(fim::tidset_intersect(v.tidsets[1], v.tidsets[2]),
+            (std::vector<Tid>{0}));
+  EXPECT_EQ(fim::tidset_intersect(v.tidsets[1], v.tidsets[4]),
+            (std::vector<Tid>{0, 3}));
+  EXPECT_EQ(fim::tidset_intersect(v.tidsets[1], v.tidsets[3]),
+            (std::vector<Tid>{0, 3}));
+}
+
+TEST(Vertical, IntersectEdgeCases) {
+  const std::vector<Tid> a{1, 3, 5}, b{2, 4, 6}, c{};
+  EXPECT_TRUE(fim::tidset_intersect(a, b).empty());
+  EXPECT_TRUE(fim::tidset_intersect(a, c).empty());
+  EXPECT_EQ(fim::tidset_intersect(a, a), a);
+}
+
+TEST(Vertical, IntersectCountMatchesMaterialized) {
+  const std::vector<Tid> a{0, 2, 4, 6, 8, 10}, b{0, 3, 4, 9, 10};
+  EXPECT_EQ(fim::tidset_intersect_count(a, b),
+            fim::tidset_intersect(a, b).size());
+  EXPECT_EQ(fim::tidset_intersect_count(a, b), 3u);
+}
+
+TEST(Vertical, Difference) {
+  const std::vector<Tid> a{1, 2, 3, 4}, b{2, 4};
+  EXPECT_EQ(fim::tidset_difference(a, b), (std::vector<Tid>{1, 3}));
+  EXPECT_EQ(fim::tidset_difference(b, a), (std::vector<Tid>{}));
+  EXPECT_EQ(fim::tidset_difference(a, {}), a);
+}
+
+TEST(Vertical, DiffsetIdentity) {
+  // |t(x) \ t(y)| = sup(x) - sup(xy): the identity diffset-Eclat relies on.
+  const auto v = VerticalDb::from_horizontal(fig2_db());
+  for (fim::Item x = 1; x <= 7; ++x) {
+    for (fim::Item y = 1; y <= 7; ++y) {
+      if (x == y) continue;
+      const auto diff = fim::tidset_difference(v.tidsets[x], v.tidsets[y]);
+      const auto both = fim::tidset_intersect(v.tidsets[x], v.tidsets[y]);
+      EXPECT_EQ(v.tidsets[x].size(), diff.size() + both.size());
+    }
+  }
+}
+
+}  // namespace
