@@ -5,9 +5,16 @@
 //
 //   gpapriori_cli mine <file.dat> [--algo NAME] [--support 0.5 | --count 20]
 //                 [--max-size K] [--rules CONF] [--closed | --maximal]
-//                 [--out result.txt]
+//                 [--out result.txt] [--fault-plan SPEC]
 //   gpapriori_cli topk <file.dat> <K> [--algo NAME]
 //   gpapriori_cli list-algos
+//
+// Typed device/I-O failures map to distinct exit codes (see usage()):
+// 0 ok, 1 other error, 2 device OOM, 3 I/O error, 4 launch failure,
+// 5 transfer failure, 64 usage. A degraded run (--fault-plan or real
+// device pressure) still exits 0 — results are bit-exact down the whole
+// static -> partitioned -> CPU ladder — and prints the ResilienceReport
+// to stderr.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +30,18 @@
 
 namespace {
 
+// Exit codes, also printed by --help. Usage errors use 64 (sysexits
+// EX_USAGE) so they can never be confused with a device OOM.
+enum ExitCode {
+  kExitOk = 0,
+  kExitError = 1,
+  kExitDeviceOom = 2,
+  kExitIo = 3,
+  kExitLaunch = 4,
+  kExitTransfer = 5,
+  kExitUsage = 64,
+};
+
 int usage() {
   std::fprintf(
       stderr,
@@ -30,24 +49,37 @@ int usage() {
       "  gpapriori_cli mine <file.dat> [--algo NAME] [--support R | --count "
       "N]\n"
       "                [--max-size K] [--rules CONF] [--closed | --maximal]\n"
-      "                [--out FILE]\n"
+      "                [--out FILE] [--fault-plan SPEC]\n"
       "  gpapriori_cli topk <file.dat> <K> [--algo NAME]\n"
-      "  gpapriori_cli list-algos\n");
-  return 2;
+      "  gpapriori_cli list-algos\n"
+      "\n"
+      "--fault-plan injects deterministic device faults (GPApriori and the\n"
+      "partitioned variant), e.g. --fault-plan \'seed=42;h2d#3=fail;\n"
+      "launch#2+=timeout;p_corrupt=0.01\'. Tokens: seed=N,\n"
+      "<op>#<n>[+]=<kind> with op in {alloc,h2d,d2h,launch} and kind in\n"
+      "{oom,fail,corrupt,timeout,ecc} (\'+\' = that op and all later ones),\n"
+      "p_transfer/p_corrupt/p_timeout/p_ecc=X. GPApriori degrades\n"
+      "static -> partitioned -> CPU_TEST instead of failing; the\n"
+      "ResilienceReport is printed to stderr on degraded runs.\n"
+      "\n"
+      "exit codes: 0 ok, 1 error, 2 device out-of-memory, 3 I/O error,\n"
+      "            4 kernel-launch failure, 5 transfer failure, 64 usage\n");
+  return kExitUsage;
 }
 
-std::unique_ptr<miners::Miner> make_by_name(const std::string& name) {
-  for (auto& m : gpapriori::make_all_miners())
+std::unique_ptr<miners::Miner> make_by_name(const std::string& name,
+                                            const gpapriori::Config& cfg) {
+  for (auto& m : gpapriori::make_all_miners(cfg))
     if (name == m->name()) return std::move(m);
   if (name == "GPApriori (eq-class)")
-    return std::make_unique<gpapriori::EqClassApriori>();
+    return std::make_unique<gpapriori::EqClassApriori>(cfg);
   if (name == "GPApriori (pipelined)")
-    return std::make_unique<gpapriori::PipelinedGpApriori>();
+    return std::make_unique<gpapriori::PipelinedGpApriori>(cfg);
   if (name == "GPApriori (partitioned)")
-    return std::make_unique<gpapriori::PartitionedGpApriori>();
-  if (name == "GPU Eclat") return std::make_unique<gpapriori::GpuEclat>();
+    return std::make_unique<gpapriori::PartitionedGpApriori>(cfg);
+  if (name == "GPU Eclat") return std::make_unique<gpapriori::GpuEclat>(cfg);
   if (name == "Hybrid CPU+GPU Apriori")
-    return std::make_unique<gpapriori::HybridApriori>();
+    return std::make_unique<gpapriori::HybridApriori>(cfg);
   return nullptr;
 }
 
@@ -66,6 +98,7 @@ struct Options {
   double rules_conf = -1;
   bool closed = false, maximal = false;
   std::string out_path;
+  std::string fault_plan;
 };
 
 bool parse_flags(int argc, char** argv, int start, Options& o) {
@@ -106,6 +139,12 @@ bool parse_flags(int argc, char** argv, int start, Options& o) {
       const char* v = next("--out");
       if (!v) return false;
       o.out_path = v;
+    } else if (a == "--fault-plan") {
+      const char* v = next("--fault-plan");
+      if (!v) return false;
+      o.fault_plan = v;
+    } else if (a.rfind("--fault-plan=", 0) == 0) {
+      o.fault_plan = a.substr(std::strlen("--fault-plan="));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       return false;
@@ -116,16 +155,25 @@ bool parse_flags(int argc, char** argv, int start, Options& o) {
 
 int cmd_mine(int argc, char** argv) {
   Options o;
-  if (!parse_flags(argc, argv, 3, o)) return 2;
+  if (!parse_flags(argc, argv, 3, o)) return kExitUsage;
   if (o.support <= 0 && o.count == 0) {
     std::fprintf(stderr, "need --support R (relative) or --count N\n");
-    return 2;
+    return kExitUsage;
   }
-  auto miner = make_by_name(o.algo);
+  gpapriori::Config cfg;
+  if (!o.fault_plan.empty()) {
+    try {
+      cfg.fault_plan = gpusim::FaultPlan::parse(o.fault_plan);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n", e.what());
+      return kExitUsage;
+    }
+  }
+  auto miner = make_by_name(o.algo, cfg);
   if (!miner) {
     std::fprintf(stderr, "unknown algorithm '%s' (see list-algos)\n",
                  o.algo.c_str());
-    return 2;
+    return kExitUsage;
   }
   const auto db = fim::read_fimi_file(argv[2]);
   miners::MiningParams p;
@@ -150,13 +198,21 @@ int cmd_mine(int argc, char** argv) {
                std::string(miner->name()).c_str(), db.num_transactions(),
                sets.size(), kind, result.host_ms, result.device_ms);
 
+  // Surface the resilience story whenever anything nontrivial happened.
+  if (const auto* gp = dynamic_cast<const gpapriori::GpApriori*>(miner.get())) {
+    const auto& rep = gp->resilience_report();
+    if (rep.degraded() || rep.retries > 0 || rep.corruption_detected > 0 ||
+        rep.device_faults.total_injected() > 0)
+      std::fprintf(stderr, "%s\n", rep.summary().c_str());
+  }
+
   std::ofstream file;
   std::ostream* out = &std::cout;
   if (!o.out_path.empty()) {
     file.open(o.out_path);
     if (!file) {
       std::fprintf(stderr, "cannot open %s\n", o.out_path.c_str());
-      return 1;
+      return kExitIo;
     }
     out = &file;
   }
@@ -174,13 +230,13 @@ int cmd_mine(int argc, char** argv) {
              << r.consequent.to_string() << " (sup " << r.support << ", conf "
              << r.confidence << ", lift " << r.lift << ")\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_topk(int argc, char** argv) {
   if (argc < 4) return usage();
   Options o;
-  if (!parse_flags(argc, argv, 4, o)) return 2;
+  if (!parse_flags(argc, argv, 4, o)) return kExitUsage;
   // Top-K uses the native rising-threshold algorithm (one level-wise pass,
   // safe on dense data); --algo is not consulted here.
   const auto db = fim::read_fimi_file(argv[2]);
@@ -191,7 +247,7 @@ int cmd_topk(int argc, char** argv) {
                k, r.itemsets.size(), r.effective_min_support,
                r.levels_mined);
   std::printf("%s", r.itemsets.to_string().c_str());
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -201,15 +257,27 @@ int main(int argc, char** argv) {
   try {
     if (std::strcmp(argv[1], "list-algos") == 0) {
       list_algos();
-      return 0;
+      return kExitOk;
     }
     if (argc >= 3 && std::strcmp(argv[1], "mine") == 0)
       return cmd_mine(argc, argv);
     if (argc >= 3 && std::strcmp(argv[1], "topk") == 0)
       return cmd_topk(argc, argv);
+  } catch (const gpusim::DeviceOomError& e) {
+    std::fprintf(stderr, "device out of memory: %s\n", e.what());
+    return kExitDeviceOom;
+  } catch (const gpusim::LaunchError& e) {
+    std::fprintf(stderr, "kernel launch failed: %s\n", e.what());
+    return kExitLaunch;
+  } catch (const gpusim::TransferError& e) {
+    std::fprintf(stderr, "host<->device transfer failed: %s\n", e.what());
+    return kExitTransfer;
+  } catch (const fim::IoError& e) {
+    std::fprintf(stderr, "I/O error: %s\n", e.what());
+    return kExitIo;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitError;
   }
   return usage();
 }

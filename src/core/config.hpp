@@ -5,7 +5,9 @@
 
 #include <cstdint>
 
+#include "core/resilience.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/fault.hpp"
 
 namespace gpapriori {
 
@@ -44,6 +46,23 @@ struct Config {
 
   /// Bounds-check every device access against live allocations (tests).
   bool strict_memory = false;
+
+  /// Deterministic fault injection routed into the simulated device
+  /// (chaos drills, `gpapriori_cli --fault-plan`). Default: no faults.
+  gpusim::FaultPlan fault_plan;
+
+  /// Bounded retry-with-backoff applied to transient device faults.
+  RetryPolicy retry;
+
+  /// Degradation ladder (static bitset → partitioned streaming on OOM →
+  /// CPU_TEST on persistent failure). Disable to make GpApriori::mine()
+  /// rethrow device errors instead — used by throw-path tests and the
+  /// ablation benches.
+  bool allow_degradation = true;
+
+  /// Device-bitset budget used when degrading to partitioned streaming
+  /// (0 = arena_bytes / 4).
+  std::size_t partition_budget_bytes = 0;
 
   [[nodiscard]] bool valid_block_size() const {
     return block_size == 0 ||

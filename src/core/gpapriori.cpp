@@ -30,59 +30,85 @@ void emit_level(const CandidateTrie& trie, std::size_t level,
   }
 }
 
-}  // namespace
-
-GpApriori::GpApriori(Config cfg) : cfg_(cfg) {
-  if (!cfg_.valid_block_size())
-    throw std::invalid_argument(
-        "GpApriori: block_size must be a power of two in [32, 512]");
-  if (cfg_.unroll == 0)
-    throw std::invalid_argument("GpApriori: unroll must be >= 1");
-}
-
-miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
-                                     const miners::MiningParams& params) {
+/// Level-1 output shared by every rung of the degradation ladder.
+miners::MiningOutput make_level1_output(const miners::Preprocessed& pre,
+                                        double host_ms) {
   miners::MiningOutput out;
-  const fim::Support min_count = params.resolve_min_count(db.num_transactions());
-  history_.clear();
-  ledger_.reset();
-
-  // ---- Host: preprocessing + static bitset construction (measured). ----
-  miners::StopWatch host;
-  miners::Preprocessed pre =
-      miners::preprocess(db, min_count, miners::ItemOrder::kAscendingFreq);
   const std::size_t n = pre.original_item.size();
-
-  std::vector<fim::Item> rows(n);
-  for (fim::Item i = 0; i < n; ++i) rows[i] = i;
-  const fim::BitsetStore store = fim::BitsetStore::from_db(pre.db, rows);
-
-  CandidateTrie trie(n);
   for (fim::Item x = 0; x < n; ++x)
     out.itemsets.add(fim::Itemset{pre.original_item[x]}, pre.support[x]);
-  out.levels.push_back({1, n, n, host.elapsed_ms(), 0});
-  out.host_ms += host.elapsed_ms();
+  out.levels.push_back({1, n, n, host_ms, 0});
+  out.host_ms += host_ms;
+  return out;
+}
 
-  if (n == 0) {
-    out.itemsets.canonicalize();
-    return out;
+/// Largest per-partition transaction count whose bitset slice (n rows at
+/// the 64-byte-aligned stride) fits `budget_bytes`; 0 when even a
+/// 512-transaction chunk does not fit.
+std::size_t pick_chunk_trans(std::size_t num_trans, std::size_t n,
+                             std::size_t budget_bytes) {
+  auto slice_bytes = [&](std::size_t t) {
+    const std::size_t words = (t + 31) / 32;
+    const std::size_t stride = (words + 15) / 16 * 16;
+    return n * stride * 4;
+  };
+  std::size_t chunk = num_trans;
+  while (chunk > 512 && slice_bytes(chunk) > budget_bytes)
+    chunk = (chunk + 1) / 2;
+  return slice_bytes(chunk) > budget_bytes ? 0 : chunk;
+}
+
+/// Splits the preprocessed database into transaction chunks and builds one
+/// bitset slice per chunk. Support is additive over the partition, so
+/// per-chunk counts summed on the host are exact.
+std::vector<fim::BitsetStore> build_slices(const fim::TransactionDb& db,
+                                           std::size_t n,
+                                           std::size_t chunk_trans) {
+  const std::size_t num_trans = db.num_transactions();
+  std::vector<fim::Item> rows(n);
+  for (fim::Item i = 0; i < n; ++i) rows[i] = i;
+  std::vector<fim::BitsetStore> slices;
+  slices.reserve((num_trans + chunk_trans - 1) / chunk_trans);
+  for (std::size_t lo = 0; lo < num_trans; lo += chunk_trans) {
+    const std::size_t hi = std::min(num_trans, lo + chunk_trans);
+    fim::TransactionDb::Builder b;
+    for (std::size_t t = lo; t < hi; ++t) {
+      auto tx = db.transaction(t);
+      b.add({tx.begin(), tx.end()});
+    }
+    fim::TransactionDb part = std::move(b).build();
+    slices.push_back(fim::BitsetStore::from_db(part, rows));
   }
+  return slices;
+}
 
-  // ---- Device setup: the one-time static-bitset upload. ----
-  gpusim::DeviceOptions dopts;
-  dopts.arena_bytes = cfg_.arena_bytes;
-  dopts.strict_memory = cfg_.strict_memory;
-  dopts.executor.sample_stride = cfg_.sample_stride;
-  gpusim::Device device(cfg_.device, dopts);
+/// The level loop, unified over both device rungs of the ladder. A single
+/// slice is the paper's static design (bitsets resident after one upload);
+/// multiple slices stream each chunk through one resident buffer every
+/// level, summing per-chunk supports on the host. Device allocations are
+/// scoped so a fault mid-level unwinds with a clean arena, letting the
+/// caller retry on the next rung.
+void mine_levels_on_device(FaultAwareDevice& fdev,
+                           const miners::Preprocessed& pre,
+                           std::span<const fim::BitsetStore> slices,
+                           const Config& cfg,
+                           const miners::MiningParams& params,
+                           fim::Support min_count, miners::MiningOutput& out,
+                           std::vector<gpusim::KernelStats>* history) {
+  gpusim::Device& device = fdev.device();
+  const std::size_t n = pre.original_item.size();
+  const bool resident = slices.size() == 1;
 
-  const auto arena = store.arena();
-  auto d_bitsets = device.alloc<std::uint32_t>(arena.size(),
-                                               fim::BitsetStore::kAlignBytes);
-  device.copy_to_device(d_bitsets, arena);
-  const std::uint32_t block_size =
-      cfg_.resolve_block_size(store.words_per_row());
+  std::size_t max_slice_words = 0;
+  for (const auto& s : slices)
+    max_slice_words = std::max(max_slice_words, s.arena().size());
 
-  // ---- Level loop. ----
+  ScopedDeviceAlloc d_bits(fdev, max_slice_words,
+                           fim::BitsetStore::kAlignBytes);
+  if (resident) fdev.upload(d_bits.get(), slices[0].arena());
+
+  CandidateTrie trie(n);
+  miners::StopWatch host;
   for (std::size_t k = 2;; ++k) {
     if (params.max_itemset_size && k > params.max_itemset_size) break;
 
@@ -92,38 +118,46 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
     const std::vector<std::uint32_t> flat = trie.flatten_level(k);
     double level_host_ms = host.elapsed_ms();
 
-    const double device_ns_before = ledger_.total_ns();
+    const double device_ns_before = device.ledger().total_ns();
 
-    auto d_cand = device.alloc<std::uint32_t>(flat.size());
-    auto d_sup = device.alloc<std::uint32_t>(ncand);
-    device.copy_to_device(d_cand, std::span<const std::uint32_t>(flat));
+    ScopedDeviceAlloc d_cand(fdev, flat.size());
+    ScopedDeviceAlloc d_sup(fdev, ncand);
+    fdev.upload(d_cand.get(), std::span<const std::uint32_t>(flat));
 
-    SupportKernel::Args args;
-    args.bitsets = d_bitsets;
-    args.stride_words = static_cast<std::uint32_t>(store.row_stride_words());
-    args.words_per_row = static_cast<std::uint32_t>(store.words_per_row());
-    args.candidates = d_cand;
-    args.k = static_cast<std::uint32_t>(k);
-    args.supports = d_sup;
+    std::vector<fim::Support> supports(ncand, 0);
+    std::vector<std::uint32_t> partial(ncand);
+    for (const auto& slice : slices) {
+      if (!resident) fdev.upload(d_bits.get(), slice.arena());
 
-    for (std::uint32_t done = 0; done < ncand;) {
-      const auto batch = std::min<std::uint32_t>(
-          kMaxGridX, static_cast<std::uint32_t>(ncand) - done);
-      args.first_candidate = done;
-      SupportKernel kernel(args, cfg_.candidate_preload, cfg_.unroll);
-      gpusim::LaunchConfig cfg{gpusim::Dim3{batch},
-                               gpusim::Dim3{block_size}};
-      history_.push_back(device.launch(kernel, cfg));
-      done += batch;
+      SupportKernel::Args args;
+      args.bitsets = d_bits.get();
+      args.stride_words = static_cast<std::uint32_t>(slice.row_stride_words());
+      args.words_per_row = static_cast<std::uint32_t>(slice.words_per_row());
+      args.candidates = d_cand.get();
+      args.k = static_cast<std::uint32_t>(k);
+      args.supports = d_sup.get();
+      const std::uint32_t block_size =
+          cfg.resolve_block_size(slice.words_per_row());
+
+      for (std::uint32_t done = 0; done < ncand;) {
+        const auto batch = std::min<std::uint32_t>(
+            kMaxGridX, static_cast<std::uint32_t>(ncand) - done);
+        args.first_candidate = done;
+        SupportKernel kernel(args, cfg.candidate_preload, cfg.unroll);
+        gpusim::LaunchConfig lcfg{gpusim::Dim3{batch},
+                                  gpusim::Dim3{block_size}};
+        gpusim::KernelStats stats = fdev.launch(kernel, lcfg);
+        if (history != nullptr) history->push_back(std::move(stats));
+        done += batch;
+      }
+
+      fdev.download_verified(std::span<std::uint32_t>(partial), d_sup.get());
+      for (std::size_t i = 0; i < ncand; ++i) supports[i] += partial[i];
     }
-
-    std::vector<std::uint32_t> supports(ncand);
-    device.copy_to_host(std::span<std::uint32_t>(supports), d_sup);
-    device.free(d_cand);
-    device.free(d_sup);
-    ledger_ = device.ledger();
+    d_cand.reset();
+    d_sup.reset();
     const double level_device_ms =
-        (ledger_.total_ns() - device_ns_before) / 1e6;
+        (device.ledger().total_ns() - device_ns_before) / 1e6;
 
     // ---- Host: prune + record (measured). ----
     host.restart();
@@ -140,10 +174,116 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
     out.host_ms += level_host_ms;
     if (trie.level_size(k) == 0) break;
   }
+}
 
+}  // namespace
+
+GpApriori::GpApriori(Config cfg) : cfg_(cfg) {
+  if (!cfg_.valid_block_size())
+    throw std::invalid_argument(
+        "GpApriori: block_size must be a power of two in [32, 512]");
+  if (cfg_.unroll == 0)
+    throw std::invalid_argument("GpApriori: unroll must be >= 1");
+}
+
+miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
+                                     const miners::MiningParams& params) {
+  const fim::Support min_count = params.resolve_min_count(db.num_transactions());
+  history_.clear();
+  ledger_.reset();
+  report_.reset();
+
+  // ---- Host: preprocessing (measured, shared by every ladder rung). ----
+  miners::StopWatch host;
+  miners::Preprocessed pre =
+      miners::preprocess(db, min_count, miners::ItemOrder::kAscendingFreq);
+  const std::size_t n = pre.original_item.size();
+  const double pre_ms = host.elapsed_ms();
+
+  if (n == 0) {
+    miners::MiningOutput out = make_level1_output(pre, pre_ms);
+    out.itemsets.canonicalize();
+    return out;
+  }
+
+  gpusim::DeviceOptions dopts;
+  dopts.arena_bytes = cfg_.arena_bytes;
+  dopts.strict_memory = cfg_.strict_memory;
+  dopts.executor.sample_stride = cfg_.sample_stride;
+  dopts.fault_plan = cfg_.fault_plan;
+  gpusim::Device device(cfg_.device, dopts);
+  FaultAwareDevice fdev(device, cfg_.retry, report_);
+
+  auto finalize = [&](miners::MiningOutput& out) {
+    ledger_ = device.ledger();
+    report_.device_faults = device.fault_stats();
+    out.device_ms = ledger_.total_ns() / 1e6;
+    out.itemsets.canonicalize();
+  };
+
+  // ---- Rung 1: the paper's static-bitset design. ----
+  miners::StopWatch lost;
+  bool oom = false;
+  try {
+    std::vector<fim::Item> rows(n);
+    for (fim::Item i = 0; i < n; ++i) rows[i] = i;
+    std::vector<fim::BitsetStore> single;
+    single.push_back(fim::BitsetStore::from_db(pre.db, rows));
+    miners::MiningOutput out = make_level1_output(pre, pre_ms);
+    mine_levels_on_device(fdev, pre, single, cfg_, params, min_count, out,
+                          &history_);
+    finalize(out);
+    return out;
+  } catch (const gpusim::SimError& e) {
+    if (!cfg_.allow_degradation) throw;
+    oom = dynamic_cast<const gpusim::DeviceOomError*>(&e) != nullptr;
+    history_.clear();
+    report_.time_lost_ms += lost.elapsed_ms();
+    report_.push_event(std::string("static-bitset attempt failed: ") +
+                       e.what());
+  }
+
+  // ---- Rung 2: partitioned streaming, on device OOM only (persistent
+  // launch/transfer failure means the device itself is gone — skip to the
+  // CPU). The same Device (and fault-plan op counters) carries over. ----
+  if (oom) {
+    lost.restart();
+    try {
+      const std::size_t budget = cfg_.partition_budget_bytes != 0
+                                     ? cfg_.partition_budget_bytes
+                                     : device.memory().capacity() / 4;
+      const std::size_t chunk =
+          pick_chunk_trans(pre.db.num_transactions(), n, budget);
+      if (chunk == 0)
+        throw gpusim::DeviceOomError(
+            "partition budget (" + std::to_string(budget) +
+            " B) too small for even a 512-transaction chunk");
+      const std::vector<fim::BitsetStore> slices =
+          build_slices(pre.db, n, chunk);
+      report_.degraded_to = DegradationStep::kPartitioned;
+      report_.push_event("degraded static -> partitioned streaming (" +
+                         std::to_string(slices.size()) + " partitions, " +
+                         std::to_string(budget) + " B bitset budget)");
+      miners::MiningOutput out = make_level1_output(pre, pre_ms);
+      mine_levels_on_device(fdev, pre, slices, cfg_, params, min_count, out,
+                            &history_);
+      finalize(out);
+      return out;
+    } catch (const gpusim::SimError& e) {
+      history_.clear();
+      report_.time_lost_ms += lost.elapsed_ms();
+      report_.push_event(std::string("partitioned attempt failed: ") +
+                         e.what());
+    }
+  }
+
+  // ---- Rung 3: CPU_TEST — same algorithm, no device. Always succeeds,
+  // and produces the identical (itemset, support) set. ----
+  report_.degraded_to = DegradationStep::kCpu;
+  report_.push_event("degraded to CPU_TEST (device abandoned)");
   ledger_ = device.ledger();
-  out.device_ms = ledger_.total_ns() / 1e6;
-  out.itemsets.canonicalize();
+  report_.device_faults = device.fault_stats();
+  miners::MiningOutput out = CpuBitsetApriori().mine(db, params);
   return out;
 }
 

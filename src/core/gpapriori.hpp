@@ -18,6 +18,7 @@
 
 #include "baselines/miner.hpp"
 #include "core/config.hpp"
+#include "core/resilience.hpp"
 #include "gpusim/device_context.hpp"
 
 namespace gpapriori {
@@ -41,10 +42,20 @@ class GpApriori final : public miners::Miner {
   [[nodiscard]] const gpusim::TimeLedger& ledger() const { return ledger_; }
   [[nodiscard]] const Config& config() const { return cfg_; }
 
+  /// Fault/retry/degradation record of the most recent mine() call. With
+  /// cfg.allow_degradation (the default), mine() never throws on device
+  /// faults: it retries transients, detects D2H corruption by checksum,
+  /// and walks the ladder static → partitioned → CPU_TEST, producing
+  /// bit-exact results at every rung.
+  [[nodiscard]] const ResilienceReport& resilience_report() const {
+    return report_;
+  }
+
  private:
   Config cfg_;
   std::vector<gpusim::KernelStats> history_;
   gpusim::TimeLedger ledger_;
+  ResilienceReport report_;
 };
 
 /// CPU_TEST of Table 1: GPApriori's algorithm on the host.

@@ -1,45 +1,100 @@
 #include "fim/fimi_io.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
 namespace fim {
+namespace {
 
-TransactionDb read_fimi(std::istream& in) {
+// FIMI item ids must fit a signed 32-bit int: larger values are always
+// dataset corruption (the FIMI repository tops out far below), and letting
+// them through would silently allocate multi-gigabyte per-item tables
+// downstream.
+constexpr std::uint64_t kMaxItemId = 0x7FFFFFFFull;
+
+std::string printable(char c) {
+  if (std::isprint(static_cast<unsigned char>(c)) != 0)
+    return std::string("'") + c + "'";
+  static const char* hex = "0123456789abcdef";
+  const auto u = static_cast<unsigned char>(c);
+  return std::string("'\\x") + hex[u >> 4] + hex[u & 0xF] + "'";
+}
+
+[[noreturn]] void parse_error(std::size_t lineno, std::size_t column,
+                              const std::string& what) {
+  throw IoError("FIMI parse error at line " + std::to_string(lineno) +
+                ", column " + std::to_string(column + 1) + ": " + what);
+}
+
+}  // namespace
+
+TransactionDb read_fimi(std::istream& in, std::size_t max_line_bytes) {
+  // Single-pass streaming tokenizer: nothing is buffered beyond the current
+  // transaction's items, so adversarial inputs (multi-gigabyte lines,
+  // endless digit runs) are rejected with an IoError long before they can
+  // exhaust host memory.
   TransactionDb::Builder b;
-  std::string line;
-  std::size_t lineno = 0;
   std::vector<Item> items;
-  while (std::getline(in, line)) {
-    ++lineno;
-    items.clear();
-    std::size_t i = 0;
-    while (i < line.size()) {
-      if (std::isspace(static_cast<unsigned char>(line[i]))) {
-        ++i;
-        continue;
-      }
-      if (!std::isdigit(static_cast<unsigned char>(line[i])))
-        throw IoError("FIMI parse error at line " + std::to_string(lineno) +
-                      ": unexpected character '" + line[i] + "'");
-      std::uint64_t v = 0;
-      while (i < line.size() &&
-             std::isdigit(static_cast<unsigned char>(line[i]))) {
-        v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
-        if (v > 0xFFFFFFFFull)
-          throw IoError("FIMI parse error at line " + std::to_string(lineno) +
-                        ": item id overflows 32 bits");
-        ++i;
-      }
-      items.push_back(static_cast<Item>(v));
+  std::size_t lineno = 1;
+  std::size_t line_bytes = 0;   // bytes seen on the current line
+  bool line_has_any = false;    // any byte seen since the line started
+  std::uint64_t value = 0;
+  bool in_token = false;
+  std::size_t token_col = 0;    // 0-based column of the current token
+
+  std::streambuf* buf = in.rdbuf();
+  for (int ch = buf->sbumpc();; ch = buf->sbumpc()) {
+    if (ch == std::char_traits<char>::eof()) {
+      in.setstate(std::ios::eofbit);
+      if (in_token) items.push_back(static_cast<Item>(value));
+      if (line_has_any) b.add(items);
+      break;
     }
-    b.add(items);
+    const char c = static_cast<char>(ch);
+    if (c == '\n') {
+      if (in_token) items.push_back(static_cast<Item>(value));
+      b.add(items);
+      items.clear();
+      value = 0;
+      in_token = false;
+      ++lineno;
+      line_bytes = 0;
+      line_has_any = false;
+      continue;
+    }
+    line_has_any = true;
+    if (++line_bytes > max_line_bytes)
+      throw IoError("FIMI parse error at line " + std::to_string(lineno) +
+                    ": line exceeds " + std::to_string(max_line_bytes) +
+                    " bytes");
+    const std::size_t col = line_bytes - 1;
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (in_token) {
+        items.push_back(static_cast<Item>(value));
+        value = 0;
+        in_token = false;
+      }
+      continue;
+    }
+    if (c == '-') parse_error(lineno, col, "negative item id");
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0)
+      parse_error(lineno, col, "unexpected character " + printable(c));
+    if (!in_token) {
+      in_token = true;
+      token_col = col;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > kMaxItemId)
+      parse_error(lineno, token_col,
+                  "item id overflows 31-bit range (max " +
+                      std::to_string(kMaxItemId) + ")");
   }
   return std::move(b).build();
 }
 
 TransactionDb read_fimi_file(const std::string& path) {
-  std::ifstream f(path);
+  std::ifstream f(path, std::ios::binary);
   if (!f) throw IoError("cannot open dataset file: " + path);
   return read_fimi(f);
 }

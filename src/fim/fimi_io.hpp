@@ -6,6 +6,7 @@
 // decimal integers. These routines round-trip that format so generated
 // datasets can be saved and external FIMI files loaded.
 
+#include <cstddef>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
@@ -19,9 +20,17 @@ class IoError : public std::runtime_error {
   explicit IoError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Parses FIMI text. Blank lines become empty transactions; anything that
-/// is not a non-negative integer raises IoError with a line number.
-[[nodiscard]] TransactionDb read_fimi(std::istream& in);
+/// Default cap on one input line; longer lines are corruption or an
+/// adversarial input and raise IoError before host memory is exhausted.
+inline constexpr std::size_t kMaxFimiLineBytes = 1ull << 30;  // 1 GiB
+
+/// Parses FIMI text in one streaming pass. Blank lines become empty
+/// transactions. Anything that is not a non-negative integer — negative
+/// ids, item ids over INT32_MAX, embedded NULs, binary garbage — raises
+/// IoError with line/column context; lines longer than `max_line_bytes`
+/// raise IoError without ever being buffered.
+[[nodiscard]] TransactionDb read_fimi(
+    std::istream& in, std::size_t max_line_bytes = kMaxFimiLineBytes);
 [[nodiscard]] TransactionDb read_fimi_file(const std::string& path);
 
 void write_fimi(const TransactionDb& db, std::ostream& out);

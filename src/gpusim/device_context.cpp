@@ -8,10 +8,12 @@ Device::Device(DeviceProperties props, DeviceOptions opts)
     : props_(std::move(props)),
       opts_(opts),
       mem_(std::min(opts.arena_bytes, props_.global_mem_bytes),
-           opts.strict_memory) {}
+           opts.strict_memory),
+      injector_(opts.fault_plan) {}
 
 KernelStats Device::launch_async(const Kernel& kernel,
                                  const LaunchConfig& cfg, StreamId stream) {
+  injector_.on_launch(std::string(kernel.name()));
   KernelStats stats = run_kernel(kernel, cfg, mem_, props_, opts_.executor);
   stats.timing = estimate_kernel_time(stats, props_);
   timeline_.schedule_kernel(stream, stats.timing.total_ns);
@@ -29,12 +31,41 @@ double Device::synchronize() {
 }
 
 KernelStats Device::launch(const Kernel& kernel, const LaunchConfig& cfg) {
+  injector_.on_launch(std::string(kernel.name()));
   KernelStats stats = run_kernel(kernel, cfg, mem_, props_, opts_.executor);
   stats.timing = estimate_kernel_time(stats, props_);
   ledger_.kernel_ns += stats.timing.total_ns;
   ledger_.launches += 1;
   if (opts_.record_launches) history_.push_back(stats);
   return stats;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const unsigned char* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Device::checksum_device_bytes(std::uint64_t addr,
+                                            std::size_t n) const {
+  unsigned char buf[4096];
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t off = 0; off < n; off += sizeof(buf)) {
+    const std::size_t chunk = std::min(sizeof(buf), n - off);
+    mem_.read_bytes(addr + off, buf, chunk);
+    h = fnv1a(h, buf, chunk);
+  }
+  return h;
+}
+
+std::uint64_t Device::checksum_host_bytes(const void* data, std::size_t n) {
+  return fnv1a(kFnvOffset, static_cast<const unsigned char*>(data), n);
 }
 
 std::string Device::profile_report() const {
@@ -46,6 +77,15 @@ std::string Device::profile_report() const {
      << ledger_.h2d_ns / 1e6 << " ms (" << ledger_.h2d_transfers
      << " copies), d2h " << ledger_.d2h_ns / 1e6 << " ms ("
      << ledger_.d2h_transfers << " copies)\n";
+  if (injector_.enabled()) {
+    const FaultStats& f = injector_.stats();
+    os << "faults injected: " << f.total_injected() << " (oom " << f.injected_oom
+       << ", transfer " << f.injected_transfer_fail << ", corruption "
+       << f.injected_corruption << ", timeout " << f.injected_timeout
+       << ", ecc " << f.injected_ecc << ") over " << f.allocs << " allocs / "
+       << f.h2d << " h2d / " << f.d2h << " d2h / " << f.launches
+       << " launches\n";
+  }
   return os.str();
 }
 

@@ -14,6 +14,7 @@
 
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
+#include "gpusim/fault.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/stats.hpp"
 #include "gpusim/stream.hpp"
@@ -48,6 +49,9 @@ struct DeviceOptions {
   ExecutorOptions executor;
   /// Keep per-launch KernelStats for profiling reports.
   bool record_launches = true;
+  /// Deterministic fault injection applied to alloc/copy/launch (see
+  /// gpusim/fault.hpp). Default: no faults.
+  FaultPlan fault_plan;
 };
 
 class Device {
@@ -61,6 +65,7 @@ class Device {
 
   template <typename T>
   DevicePtr<T> alloc(std::size_t count, std::size_t alignment = alignof(T)) {
+    injector_.on_alloc(count * sizeof(T));
     return mem_.alloc<T>(count, alignment);
   }
   template <typename T>
@@ -69,20 +74,40 @@ class Device {
   }
 
   /// Synchronous host->device copy; charges PCIe time to the ledger.
+  /// May throw a (transient) TransferError under fault injection; the
+  /// destination is untouched in that case.
   template <typename T>
   void copy_to_device(DevicePtr<T> dst, std::span<const T> src) {
+    injector_.on_h2d(src.size_bytes());
     mem_.write_bytes(dst.addr, src.data(), src.size_bytes());
     ledger_.h2d_ns += estimate_transfer_ns(src.size_bytes(), props_);
     ledger_.h2d_transfers += 1;
   }
 
   /// Synchronous device->host copy; charges PCIe time to the ledger.
+  /// Under fault injection the transfer may throw a transient
+  /// TransferError, or complete with a bit of `dst` silently flipped —
+  /// detectable against checksum() of the source range.
   template <typename T>
   void copy_to_host(std::span<T> dst, DevicePtr<T> src) {
+    injector_.on_d2h(dst.size_bytes());
     mem_.read_bytes(src.addr, dst.data(), dst.size_bytes());
+    injector_.corrupt_d2h(dst.data(), dst.size_bytes());
     ledger_.d2h_ns += estimate_transfer_ns(dst.size_bytes(), props_);
     ledger_.d2h_transfers += 1;
   }
+
+  /// FNV-1a checksum of a device range, computed device-side (exempt from
+  /// transfer fault injection — the real system would run a tiny reduction
+  /// kernel). Lets callers verify a D2H copy arrived intact.
+  template <typename T>
+  [[nodiscard]] std::uint64_t checksum(DevicePtr<T> p,
+                                       std::size_t count) const {
+    return checksum_device_bytes(p.addr, count * sizeof(T));
+  }
+  /// The same checksum over host bytes, for the comparison side.
+  [[nodiscard]] static std::uint64_t checksum_host_bytes(const void* data,
+                                                         std::size_t n);
 
   /// Runs a kernel, applies the timing model, updates the ledger, and
   /// returns the full launch statistics.
@@ -104,6 +129,7 @@ class Device {
   template <typename T>
   void copy_to_device_async(DevicePtr<T> dst, std::span<const T> src,
                             StreamId stream) {
+    injector_.on_h2d(src.size_bytes());
     mem_.write_bytes(dst.addr, src.data(), src.size_bytes());
     timeline_.schedule_copy(stream,
                             estimate_transfer_ns(src.size_bytes(), props_));
@@ -113,7 +139,9 @@ class Device {
   template <typename T>
   void copy_to_host_async(std::span<T> dst, DevicePtr<T> src,
                           StreamId stream) {
+    injector_.on_d2h(dst.size_bytes());
     mem_.read_bytes(src.addr, dst.data(), dst.size_bytes());
+    injector_.corrupt_d2h(dst.data(), dst.size_bytes());
     timeline_.schedule_copy(stream,
                             estimate_transfer_ns(dst.size_bytes(), props_));
     ledger_.d2h_transfers += 1;
@@ -141,10 +169,23 @@ class Device {
   /// nvprof-style textual profile of every recorded launch.
   [[nodiscard]] std::string profile_report() const;
 
+  /// Operation/fault counters of the active fault plan (all zero faults
+  /// when no plan was configured).
+  [[nodiscard]] const FaultStats& fault_stats() const {
+    return injector_.stats();
+  }
+  [[nodiscard]] bool fault_injection_enabled() const {
+    return injector_.enabled();
+  }
+
  private:
+  [[nodiscard]] std::uint64_t checksum_device_bytes(std::uint64_t addr,
+                                                    std::size_t n) const;
+
   DeviceProperties props_;
   DeviceOptions opts_;
   GlobalMemory mem_;
+  FaultInjector injector_;
   TimeLedger ledger_;
   std::vector<KernelStats> history_;
   Timeline timeline_{8};

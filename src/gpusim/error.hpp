@@ -1,10 +1,22 @@
 #pragma once
-// Error type for the SIMT simulator.
+// Error taxonomy for the SIMT simulator.
 //
 // Simulator misuse (bad launch geometry, out-of-bounds device access,
-// exhausted device memory) throws SimError. Functional kernels must never
-// silently corrupt state the way a real GPU would: every device access is
-// bounds-checked.
+// exhausted device memory) throws SimError or a typed subclass. Functional
+// kernels must never silently corrupt state the way a real GPU would: every
+// device access is bounds-checked.
+//
+// The subclasses mirror the CUDA failure modes a resilient driver must
+// distinguish (see core/resilience.hpp):
+//   DeviceOomError — cudaMalloc exhaustion; never retryable, the driver
+//                    must shed memory (degrade to streaming) instead.
+//   TransferError  — a host<->device copy failed; transient instances
+//                    (injected bus glitches) are retryable.
+//   LaunchError    — a kernel launch failed; transient instances (injected
+//                    timeouts / ECC events) are retryable, launch-geometry
+//                    misuse is not.
+//   StreamError    — stream/timeline misuse (dangling stream id, negative
+//                    duration); always a programming error, never retryable.
 
 #include <stdexcept>
 #include <string>
@@ -14,6 +26,44 @@ namespace gpusim {
 class SimError : public std::runtime_error {
  public:
   explicit SimError(const std::string& what) : std::runtime_error(what) {}
+  /// True when retrying the failed operation can plausibly succeed (the
+  /// fault was transient). Drives the bounded-retry policy in core.
+  [[nodiscard]] virtual bool retryable() const { return false; }
+};
+
+/// Device memory exhaustion (the simulator's cudaErrorMemoryAllocation).
+class DeviceOomError : public SimError {
+ public:
+  explicit DeviceOomError(const std::string& what) : SimError(what) {}
+};
+
+/// A host<->device transfer failed or was detected as corrupted.
+class TransferError : public SimError {
+ public:
+  explicit TransferError(const std::string& what, bool transient = false)
+      : SimError(what), transient_(transient) {}
+  [[nodiscard]] bool retryable() const override { return transient_; }
+
+ private:
+  bool transient_;
+};
+
+/// A kernel launch failed: geometry misuse (not retryable) or an injected
+/// transient device fault — timeout, ECC event (retryable).
+class LaunchError : public SimError {
+ public:
+  explicit LaunchError(const std::string& what, bool transient = false)
+      : SimError(what), transient_(transient) {}
+  [[nodiscard]] bool retryable() const override { return transient_; }
+
+ private:
+  bool transient_;
+};
+
+/// Stream/timeline misuse: out-of-range stream id, negative duration.
+class StreamError : public SimError {
+ public:
+  explicit StreamError(const std::string& what) : SimError(what) {}
 };
 
 }  // namespace gpusim

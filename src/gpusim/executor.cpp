@@ -110,18 +110,19 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
   const std::uint32_t tpb = cfg.threads_per_block();
   const std::uint64_t num_blocks = cfg.num_blocks();
   if (num_blocks == 0 || tpb == 0)
-    throw SimError("launch: empty grid or block");
+    throw LaunchError("launch: empty grid or block");
   if (tpb > static_cast<std::uint32_t>(props.max_threads_per_block))
-    throw SimError("launch: " + std::to_string(tpb) +
+    throw LaunchError("launch: " + std::to_string(tpb) +
                    " threads/block exceeds device limit " +
                    std::to_string(props.max_threads_per_block));
 
   const KernelInfo info = kernel.info(cfg);
-  if (info.num_phases == 0) throw SimError("launch: kernel declares 0 phases");
+  if (info.num_phases == 0)
+    throw LaunchError("launch: kernel declares 0 phases");
   const std::size_t shared_bytes =
       info.static_shared_bytes + cfg.dynamic_shared_bytes;
   if (shared_bytes > props.shared_mem_per_sm)
-    throw SimError("launch: block shared memory (" +
+    throw LaunchError("launch: block shared memory (" +
                    std::to_string(shared_bytes) + " B) exceeds SM capacity (" +
                    std::to_string(props.shared_mem_per_sm) + " B)");
 

@@ -1,0 +1,250 @@
+#include "gpusim/fault.hpp"
+
+#include <stdexcept>
+
+namespace gpusim {
+namespace {
+
+// splitmix64: the standard counter-based mixer; good enough to decorrelate
+// per-operation fault draws and cheap enough to run on every device call.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool kind_valid_for(FaultOp op, FaultKind kind) {
+  switch (op) {
+    case FaultOp::kAlloc:
+      return kind == FaultKind::kOom;
+    case FaultOp::kH2D:
+      return kind == FaultKind::kFail;
+    case FaultOp::kD2H:
+      return kind == FaultKind::kFail || kind == FaultKind::kCorrupt;
+    case FaultOp::kLaunch:
+      return kind == FaultKind::kTimeout || kind == FaultKind::kEcc;
+  }
+  return false;
+}
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("FaultPlan::parse: " + why + " in '" + spec +
+                              "'");
+}
+
+std::string trim(const std::string& s) {
+  const std::size_t lo = s.find_first_not_of(" \t");
+  if (lo == std::string::npos) return {};
+  return s.substr(lo, s.find_last_not_of(" \t") - lo + 1);
+}
+
+}  // namespace
+
+const char* to_string(FaultOp op) {
+  switch (op) {
+    case FaultOp::kAlloc: return "alloc";
+    case FaultOp::kH2D: return "h2d";
+    case FaultOp::kD2H: return "d2h";
+    case FaultOp::kLaunch: return "launch";
+  }
+  return "?";
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kOom: return "oom";
+    case FaultKind::kFail: return "fail";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kEcc: return "ecc";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string tok = trim(spec.substr(pos, end - pos));
+    pos = end + 1;
+    if (tok.empty()) continue;
+
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == tok.size())
+      bad_spec(spec, "token '" + tok + "' is not key=value");
+    std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+
+    auto parse_prob = [&](double& out) {
+      std::size_t used = 0;
+      double v = 0;
+      try {
+        v = std::stod(value, &used);
+      } catch (const std::exception&) {
+        bad_spec(spec, "bad probability '" + value + "'");
+      }
+      if (used != value.size() || v < 0 || v > 1)
+        bad_spec(spec, "probability '" + value + "' not in [0, 1]");
+      out = v;
+    };
+
+    if (key == "seed") {
+      try {
+        std::size_t used = 0;
+        plan.seed = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        bad_spec(spec, "bad seed '" + value + "'");
+      }
+    } else if (key == "p_transfer") {
+      parse_prob(plan.p_transfer);
+    } else if (key == "p_corrupt") {
+      parse_prob(plan.p_corrupt);
+    } else if (key == "p_timeout") {
+      parse_prob(plan.p_timeout);
+    } else if (key == "p_ecc") {
+      parse_prob(plan.p_ecc);
+    } else {
+      // <op>#<n>[+]=<kind>
+      const std::size_t hash = key.find('#');
+      if (hash == std::string::npos)
+        bad_spec(spec, "unknown key '" + key + "'");
+      const std::string op_name = key.substr(0, hash);
+      std::string nth = key.substr(hash + 1);
+      Trigger t;
+      if (!nth.empty() && nth.back() == '+') {
+        t.sticky = true;
+        nth.pop_back();
+      }
+      if (op_name == "alloc") t.op = FaultOp::kAlloc;
+      else if (op_name == "h2d") t.op = FaultOp::kH2D;
+      else if (op_name == "d2h") t.op = FaultOp::kD2H;
+      else if (op_name == "launch") t.op = FaultOp::kLaunch;
+      else bad_spec(spec, "unknown operation '" + op_name + "'");
+      try {
+        std::size_t used = 0;
+        t.nth = std::stoull(nth, &used);
+        if (used != nth.size() || t.nth == 0) throw std::invalid_argument(nth);
+      } catch (const std::exception&) {
+        bad_spec(spec, "bad operation index '" + nth + "' (1-based)");
+      }
+      if (value == "oom") t.kind = FaultKind::kOom;
+      else if (value == "fail") t.kind = FaultKind::kFail;
+      else if (value == "corrupt") t.kind = FaultKind::kCorrupt;
+      else if (value == "timeout") t.kind = FaultKind::kTimeout;
+      else if (value == "ecc") t.kind = FaultKind::kEcc;
+      else bad_spec(spec, "unknown fault kind '" + value + "'");
+      if (!kind_valid_for(t.op, t.kind))
+        bad_spec(spec, std::string("fault kind '") + to_string(t.kind) +
+                           "' does not apply to operation '" +
+                           to_string(t.op) + "'");
+      plan.triggers.push_back(t);
+    }
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+const FaultPlan::Trigger* FaultInjector::match(FaultOp op,
+                                               std::uint64_t index) const {
+  for (const auto& t : plan_.triggers) {
+    if (t.op != op) continue;
+    if (t.sticky ? index >= t.nth : index == t.nth) return &t;
+  }
+  return nullptr;
+}
+
+double FaultInjector::draw(FaultOp op, std::uint64_t index,
+                           std::uint32_t salt) const {
+  const std::uint64_t h =
+      mix64(plan_.seed ^ mix64((static_cast<std::uint64_t>(op) << 32) ^ salt) ^
+            mix64(index));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void FaultInjector::on_alloc(std::size_t bytes) {
+  const std::uint64_t i = ++stats_.allocs;
+  if (match(FaultOp::kAlloc, i) != nullptr) {
+    stats_.injected_oom += 1;
+    throw DeviceOomError("injected device OOM at alloc #" +
+                         std::to_string(i) + " (" + std::to_string(bytes) +
+                         " B requested)");
+  }
+}
+
+void FaultInjector::on_h2d(std::size_t bytes) {
+  const std::uint64_t i = ++stats_.h2d;
+  const bool hit = match(FaultOp::kH2D, i) != nullptr ||
+                   (plan_.p_transfer > 0 &&
+                    draw(FaultOp::kH2D, i, 0) < plan_.p_transfer);
+  if (hit) {
+    stats_.injected_transfer_fail += 1;
+    throw TransferError("injected transient H2D failure at transfer #" +
+                            std::to_string(i) + " (" +
+                            std::to_string(bytes) + " B)",
+                        /*transient=*/true);
+  }
+}
+
+void FaultInjector::on_d2h(std::size_t bytes) {
+  const std::uint64_t i = ++stats_.d2h;
+  const auto* t = match(FaultOp::kD2H, i);
+  const bool fail = (t != nullptr && t->kind == FaultKind::kFail) ||
+                    (plan_.p_transfer > 0 &&
+                     draw(FaultOp::kD2H, i, 0) < plan_.p_transfer);
+  if (fail) {
+    stats_.injected_transfer_fail += 1;
+    throw TransferError("injected transient D2H failure at transfer #" +
+                            std::to_string(i) + " (" +
+                            std::to_string(bytes) + " B)",
+                        /*transient=*/true);
+  }
+}
+
+void FaultInjector::corrupt_d2h(void* data, std::size_t n) {
+  if (n == 0) return;
+  // Uses the counter already advanced by on_d2h for this transfer.
+  const std::uint64_t i = stats_.d2h;
+  const auto* t = match(FaultOp::kD2H, i);
+  const bool hit = (t != nullptr && t->kind == FaultKind::kCorrupt) ||
+                   (plan_.p_corrupt > 0 &&
+                    draw(FaultOp::kD2H, i, 1) < plan_.p_corrupt);
+  if (!hit) return;
+  stats_.injected_corruption += 1;
+  const std::uint64_t h = mix64(plan_.seed ^ mix64(i ^ 0xC0FFEEull));
+  auto* bytes = static_cast<unsigned char*>(data);
+  bytes[h % n] ^= static_cast<unsigned char>(1u << ((h >> 32) % 8));
+}
+
+void FaultInjector::on_launch(const std::string& kernel_name) {
+  const std::uint64_t i = ++stats_.launches;
+  const auto* t = match(FaultOp::kLaunch, i);
+  FaultKind kind;
+  if (t != nullptr) {
+    kind = t->kind;
+  } else if (plan_.p_timeout > 0 &&
+             draw(FaultOp::kLaunch, i, 0) < plan_.p_timeout) {
+    kind = FaultKind::kTimeout;
+  } else if (plan_.p_ecc > 0 && draw(FaultOp::kLaunch, i, 1) < plan_.p_ecc) {
+    kind = FaultKind::kEcc;
+  } else {
+    return;
+  }
+  if (kind == FaultKind::kTimeout) {
+    stats_.injected_timeout += 1;
+    throw LaunchError("injected launch timeout at launch #" +
+                          std::to_string(i) + " (kernel '" + kernel_name +
+                          "')",
+                      /*transient=*/true);
+  }
+  stats_.injected_ecc += 1;
+  throw LaunchError("injected transient ECC error at launch #" +
+                        std::to_string(i) + " (kernel '" + kernel_name + "')",
+                    /*transient=*/true);
+}
+
+}  // namespace gpusim

@@ -30,10 +30,12 @@ std::uint64_t GlobalMemory::alloc_bytes(std::size_t n, std::size_t alignment) {
     cursor = std::max<std::uint64_t>(cursor, align_up(start + size, alignment));
   }
   if (cursor + n > data_.size()) {
-    throw SimError("GlobalMemory::alloc: out of device memory (requested " +
-                   std::to_string(n) + " B, in use " +
-                   std::to_string(bytes_in_use_) + " / " +
-                   std::to_string(data_.size()) + " B)");
+    // Thrown before any bookkeeping mutates: a failed alloc leaves the
+    // free list exactly as it was, so live allocations stay usable.
+    throw DeviceOomError(
+        "GlobalMemory::alloc: out of device memory (requested " +
+        std::to_string(n) + " B, in use " + std::to_string(bytes_in_use_) +
+        " / " + std::to_string(data_.size()) + " B)");
   }
   blocks_.emplace(cursor, n);
   bytes_in_use_ += n;
@@ -57,6 +59,28 @@ void GlobalMemory::write_bytes(std::uint64_t addr, const void* src, std::size_t 
 void GlobalMemory::read_bytes(std::uint64_t addr, void* dst, std::size_t n) const {
   check(addr, n);
   std::memcpy(dst, data_.data() + addr, n);
+}
+
+void GlobalMemory::validate() const {
+  std::size_t sum = 0;
+  std::uint64_t prev_end = 1;  // address 0 is the reserved null handle
+  for (const auto& [start, size] : blocks_) {
+    if (size == 0)
+      throw SimError("GlobalMemory::validate: zero-size block at " +
+                     std::to_string(start));
+    if (start < prev_end)
+      throw SimError("GlobalMemory::validate: block at " +
+                     std::to_string(start) + " overlaps its predecessor");
+    if (start + size > data_.size())
+      throw SimError("GlobalMemory::validate: block at " +
+                     std::to_string(start) + " overruns the arena");
+    prev_end = start + size;
+    sum += size;
+  }
+  if (sum != bytes_in_use_)
+    throw SimError("GlobalMemory::validate: bytes_in_use " +
+                   std::to_string(bytes_in_use_) +
+                   " disagrees with block sum " + std::to_string(sum));
 }
 
 void GlobalMemory::check(std::uint64_t addr, std::size_t n) const {

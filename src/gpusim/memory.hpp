@@ -53,7 +53,9 @@ class GlobalMemory {
   GlobalMemory& operator=(const GlobalMemory&) = delete;
 
   /// Allocates `count` elements of T aligned to `alignment` bytes.
-  /// Throws SimError when the arena is exhausted.
+  /// Throws DeviceOomError when the arena is exhausted; the failure is
+  /// strongly exception-safe (no bookkeeping changes, live allocations
+  /// remain intact and usable).
   template <typename T>
   DevicePtr<T> alloc(std::size_t count, std::size_t alignment = alignof(T)) {
     return DevicePtr<T>{alloc_bytes(count * sizeof(T), alignment)};
@@ -90,6 +92,11 @@ class GlobalMemory {
   [[nodiscard]] std::size_t peak_bytes_in_use() const { return peak_bytes_in_use_; }
   [[nodiscard]] std::size_t allocation_count() const { return blocks_.size(); }
   [[nodiscard]] bool strict() const { return strict_; }
+
+  /// Checks free-list invariants (blocks sorted, non-overlapping, inside
+  /// the arena, sizes summing to bytes_in_use). Throws SimError on any
+  /// inconsistency; used by the OOM exception-safety tests.
+  void validate() const;
 
  private:
   std::uint64_t alloc_bytes(std::size_t n, std::size_t alignment);

@@ -6,14 +6,14 @@
 namespace gpusim {
 
 Timeline::Timeline(std::size_t num_streams) : stream_free_(num_streams, 0.0) {
-  if (num_streams == 0) throw SimError("Timeline: need at least one stream");
+  if (num_streams == 0) throw StreamError("Timeline: need at least one stream");
 }
 
 double Timeline::schedule(StreamId s, double& engine_free,
                           double duration_ns) {
   if (s >= stream_free_.size())
-    throw SimError("Timeline: stream " + std::to_string(s) + " out of range");
-  if (duration_ns < 0) throw SimError("Timeline: negative duration");
+    throw StreamError("Timeline: stream " + std::to_string(s) + " out of range");
+  if (duration_ns < 0) throw StreamError("Timeline: negative duration");
   const double start = std::max(stream_free_[s], engine_free);
   const double end = start + duration_ns;
   stream_free_[s] = end;
@@ -39,7 +39,7 @@ double Timeline::sync() {
 
 double Timeline::stream_time(StreamId s) const {
   if (s >= stream_free_.size())
-    throw SimError("Timeline: stream " + std::to_string(s) + " out of range");
+    throw StreamError("Timeline: stream " + std::to_string(s) + " out of range");
   return stream_free_[s];
 }
 

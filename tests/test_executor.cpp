@@ -236,6 +236,53 @@ TEST(Executor, LaunchValidation) {
   EXPECT_THROW(run_kernel(zero, {Dim3{1}, Dim3{32}}, mem, props), SimError);
 }
 
+// The validation throws above must carry the typed LaunchError (not just
+// the SimError base) so callers can classify them: a malformed launch is a
+// permanent programming error, never retryable.
+TEST(Executor, LaunchValidationThrowsTypedLaunchError) {
+  GlobalMemory mem(4096);
+  VecAddKernel k;
+
+  // Zero-thread block.
+  try {
+    run_kernel(k, {Dim3{1}, Dim3{0}}, mem, props);
+    FAIL() << "expected LaunchError";
+  } catch (const LaunchError& e) {
+    EXPECT_FALSE(e.retryable());
+  }
+
+  // Empty grid.
+  EXPECT_THROW(run_kernel(k, {Dim3{0}, Dim3{32}}, mem, props), LaunchError);
+
+  // Block over the device thread limit.
+  ASSERT_EQ(props.max_threads_per_block, 512);
+  EXPECT_THROW(run_kernel(k, {Dim3{1}, Dim3{513}}, mem, props), LaunchError);
+  EXPECT_NO_THROW(run_kernel(k, {Dim3{1}, Dim3{512}}, mem, props));
+
+  // Static shared memory over the per-block limit.
+  class HugeShared final : public Kernel {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "huge"; }
+    [[nodiscard]] KernelInfo info(const LaunchConfig&) const override {
+      return {.num_phases = 1, .static_shared_bytes = 64 * 1024,
+              .regs_per_thread = 4};
+    }
+    void run_phase(std::uint32_t, ThreadCtx&) const override {}
+  } huge;
+  EXPECT_THROW(run_kernel(huge, {Dim3{1}, Dim3{32}}, mem, props), LaunchError);
+
+  // A kernel declaring zero phases would silently do nothing.
+  class ZeroPhases final : public Kernel {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "zero"; }
+    [[nodiscard]] KernelInfo info(const LaunchConfig&) const override {
+      return {.num_phases = 0, .static_shared_bytes = 0, .regs_per_thread = 4};
+    }
+    void run_phase(std::uint32_t, ThreadCtx&) const override {}
+  } zero;
+  EXPECT_THROW(run_kernel(zero, {Dim3{1}, Dim3{32}}, mem, props), LaunchError);
+}
+
 TEST(Executor, SharedMemoryIsZeroedPerBlock) {
   GlobalMemory mem(1 << 16);
 

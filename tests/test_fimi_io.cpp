@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 namespace {
 
@@ -48,6 +49,111 @@ TEST(FimiIo, RejectsNonNumeric) {
 TEST(FimiIo, RejectsItemOverflow) {
   std::istringstream in("99999999999\n");
   EXPECT_THROW((void)read_fimi(in), IoError);
+}
+
+// Adversarial inputs must raise IoError with line context — never crash,
+// hang, or silently truncate the value.
+TEST(FimiIo, MalformedInputTable) {
+  struct Case {
+    const char* name;
+    std::string input;
+    const char* expect_in_message;  // substring of e.what()
+  };
+  const Case cases[] = {
+      {"int-overflow", "2147483648\n", "overflows"},
+      {"uint64-overflow", "99999999999999999999 1\n", "overflows"},
+      {"negative-id", "1 -5\n", "negative item id"},
+      {"lone-minus", "-\n", "negative item id"},
+      {"embedded-nul", std::string("1 \0 2\n", 6), "\\x00"},
+      {"binary-garbage", "1 2\n\x01\x02\n", "line 2"},
+      {"alpha-token", "12a\n", "unexpected character"},
+      {"float-token", "1.5\n", "unexpected character"},
+      {"plus-sign", "+3\n", "unexpected character"},
+  };
+  for (const auto& c : cases) {
+    std::istringstream in(c.input);
+    try {
+      (void)read_fimi(in);
+      FAIL() << c.name << ": expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find("line "), std::string::npos)
+          << c.name << ": message lacks line context: " << e.what();
+      EXPECT_NE(std::string(e.what()).find(c.expect_in_message),
+                std::string::npos)
+          << c.name << ": message lacks '" << c.expect_in_message
+          << "': " << e.what();
+    }
+  }
+}
+
+TEST(FimiIo, MaxValidItemIdIsAccepted) {
+  std::istringstream in("2147483647\n");
+  const auto db = read_fimi(in);
+  ASSERT_EQ(db.num_transactions(), 1u);
+  EXPECT_EQ(db.transaction(0)[0], 2147483647u);
+}
+
+// A streambuf that repeats a pattern forever: simulates a line of
+// unbounded length without ever materializing it.
+class EndlessPattern : public std::streambuf {
+ public:
+  explicit EndlessPattern(std::string pattern)
+      : pattern_(std::move(pattern)) {}
+
+ protected:
+  int_type underflow() override {
+    buf_.clear();
+    for (std::size_t i = 0; i < 1024; ++i)
+      buf_.insert(buf_.end(), pattern_.begin(), pattern_.end());
+    setg(buf_.data(), buf_.data(), buf_.data() + buf_.size());
+    return traits_type::to_int_type(*gptr());
+  }
+
+ private:
+  std::string pattern_;
+  std::vector<char> buf_;
+};
+
+TEST(FimiIo, EndlessDigitRunIsRejectedNotBuffered) {
+  // One token growing forever must hit the item-id overflow guard after a
+  // handful of digits — not accumulate gigabytes.
+  EndlessPattern sb("7");
+  std::istream in(&sb);
+  try {
+    (void)read_fimi(in);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("overflows"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FimiIo, OverlongLineIsRejectedNotBuffered) {
+  // Valid-looking tokens on a never-ending line must hit the line-length
+  // cap (tightened here so the test stays fast; the default is 1 GiB).
+  EndlessPattern sb("1 ");
+  std::istream in(&sb);
+  try {
+    (void)read_fimi(in, /*max_line_bytes=*/4096);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FimiIo, LastLineWithoutNewline) {
+  std::istringstream in("1 2\n3 4");
+  const auto db = read_fimi(in);
+  ASSERT_EQ(db.num_transactions(), 2u);
+  EXPECT_EQ(db.transaction(1)[1], 4u);
+}
+
+TEST(FimiIo, CrLfLineEndings) {
+  std::istringstream in("1 2\r\n3\r\n");
+  const auto db = read_fimi(in);
+  ASSERT_EQ(db.num_transactions(), 2u);
+  EXPECT_EQ(db.transaction(0).size(), 2u);
 }
 
 TEST(FimiIo, WriteReadRoundTrip) {

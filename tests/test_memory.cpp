@@ -5,8 +5,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "gpusim/error.hpp"
+
 namespace {
 
+using gpusim::DeviceOomError;
 using gpusim::DevicePtr;
 using gpusim::GlobalMemory;
 using gpusim::SimError;
@@ -127,6 +130,65 @@ TEST(GlobalMemory, UsageAccounting) {
   EXPECT_EQ(mem.peak_bytes_in_use(), 300u);
   mem.free(b);
   EXPECT_EQ(mem.bytes_in_use(), 0u);
+}
+
+TEST(GlobalMemory, OomThrowsTypedNonRetryableError) {
+  GlobalMemory mem(4096);
+  try {
+    (void)mem.alloc<std::uint8_t>(1 << 20);
+    FAIL() << "expected DeviceOomError";
+  } catch (const DeviceOomError& e) {
+    EXPECT_FALSE(e.retryable());
+  }
+}
+
+// Exhausting the arena must leave the allocator fully consistent: the
+// free list intact, every live allocation still usable, and freed space
+// immediately reusable (strong exception safety of alloc).
+TEST(GlobalMemory, ArenaConsistentAfterAllocUntilOom) {
+  GlobalMemory mem(8192);
+  std::vector<DevicePtr<std::uint32_t>> live;
+  try {
+    for (;;) live.push_back(mem.alloc<std::uint32_t>(256, 4));
+  } catch (const DeviceOomError&) {
+  }
+  ASSERT_FALSE(live.empty());
+  EXPECT_NO_THROW(mem.validate());
+  const std::size_t in_use_at_oom = mem.bytes_in_use();
+
+  // Every live allocation survives the failed alloc and still round-trips.
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const auto v = static_cast<std::uint32_t>(0xA000 + i);
+    mem.store<std::uint32_t>(live[i].byte_of(0), v);
+    mem.store<std::uint32_t>(live[i].byte_of(255), ~v);
+  }
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const auto v = static_cast<std::uint32_t>(0xA000 + i);
+    EXPECT_EQ(mem.load<std::uint32_t>(live[i].byte_of(0)), v);
+    EXPECT_EQ(mem.load<std::uint32_t>(live[i].byte_of(255)), ~v);
+  }
+
+  // Free one block: its space is reusable and accounting returns to par.
+  mem.free(live.back());
+  live.pop_back();
+  EXPECT_NO_THROW(mem.validate());
+  EXPECT_NO_THROW(live.push_back(mem.alloc<std::uint32_t>(256, 4)));
+  EXPECT_EQ(mem.bytes_in_use(), in_use_at_oom);
+  EXPECT_NO_THROW(mem.validate());
+}
+
+TEST(GlobalMemory, RepeatedOomDoesNotLeakBookkeeping) {
+  GlobalMemory mem(4096);
+  const auto a = mem.alloc<std::uint8_t>(2048, 1);
+  const std::size_t count = mem.allocation_count();
+  const std::size_t used = mem.bytes_in_use();
+  for (int i = 0; i < 16; ++i)
+    EXPECT_THROW((void)mem.alloc<std::uint8_t>(4096, 1), DeviceOomError);
+  EXPECT_EQ(mem.allocation_count(), count);
+  EXPECT_EQ(mem.bytes_in_use(), used);
+  EXPECT_NO_THROW(mem.validate());
+  mem.free(a);
+  EXPECT_NO_THROW(mem.alloc<std::uint8_t>(4000, 1));
 }
 
 TEST(GlobalMemory, ZeroCapacityRejected) {

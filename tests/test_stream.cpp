@@ -98,6 +98,37 @@ TEST(Timeline, ResetAndValidation) {
   EXPECT_THROW(Timeline bad(0), SimError);
 }
 
+// Stream misuse must raise the typed StreamError (not just SimError), and
+// a failed schedule must not advance the timeline.
+TEST(Timeline, MisuseThrowsTypedStreamError) {
+  // Zero streams is a construction-time error.
+  EXPECT_THROW(Timeline bad(0), StreamError);
+
+  Timeline t(2);
+  t.schedule_copy(0, 10);
+
+  // Scheduling on a stream past the end — the "dangling stream" a caller
+  // holds after constructing a narrower timeline.
+  try {
+    t.schedule_copy(2, 1);
+    FAIL() << "expected StreamError";
+  } catch (const StreamError& e) {
+    EXPECT_FALSE(e.retryable());
+  }
+  EXPECT_THROW(t.schedule_kernel(7, 1), StreamError);
+
+  // Querying a dangling stream's time fails the same way.
+  EXPECT_THROW((void)t.stream_time(2), StreamError);
+
+  // Negative durations are nonsense whatever the stream.
+  EXPECT_THROW(t.schedule_copy(0, -1), StreamError);
+  EXPECT_THROW(t.schedule_kernel(0, -0.5), StreamError);
+
+  // None of the failed calls advanced the clock.
+  EXPECT_DOUBLE_EQ(t.horizon(), 10);
+  EXPECT_DOUBLE_EQ(t.stream_time(0), 10);
+}
+
 TEST(DeviceAsync, LedgerChargesOverlappedTime) {
   DeviceOptions async_opts;
   async_opts.arena_bytes = 1 << 20;
