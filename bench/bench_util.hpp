@@ -13,15 +13,19 @@
 // who wins, by roughly what factor, where the curves cross — hold at both
 // scales. EXPERIMENTS.md records the scale used for the committed numbers.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/gpapriori_all.hpp"
 #include "datagen/datagen.hpp"
 #include "fim/fim.hpp"
+#include "gpusim/executor.hpp"
 
 namespace bench {
 
@@ -68,13 +72,59 @@ inline std::ofstream open_csv(const std::string& stem) {
   return csv;
 }
 
-/// Runs the full Fig. 6-style sweep for one dataset profile.
-inline void run_figure(const char* figure_id, datagen::DatasetId id,
-                       double default_scale, const FigureOptions& opts) {
+/// Commit the numbers were produced at: GPAPRIORI_GIT_SHA env var when set
+/// (CI), else the hash baked in at configure time, else "unknown".
+inline std::string git_sha() {
+  if (const char* env = std::getenv("GPAPRIORI_GIT_SHA"); env && *env)
+    return env;
+#ifdef GPAPRIORI_GIT_SHA
+  return GPAPRIORI_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// Machine-readable result file: results/BENCH_<stem>.json (directory from
+/// GPAPRIORI_BENCH_JSON_DIR, default "results"; empty string disables).
+/// Unlike the CSV it also records provenance — git SHA, scale, resolved
+/// host thread count — and real wall-clock per miner run, which is where
+/// the block-parallel executor shows up (simulated device_ms is invariant).
+inline std::ofstream open_json(const std::string& stem) {
+  const char* dir = std::getenv("GPAPRIORI_BENCH_JSON_DIR");
+  if (dir && *dir == '\0') return {};
+  const std::string d = dir ? dir : "results";
+  std::error_code ec;
+  std::filesystem::create_directories(d, ec);
+  return std::ofstream(d + "/BENCH_" + stem + ".json");
+}
+
+/// Runs the full Fig. 6-style sweep for one dataset profile. `stem` names
+/// the machine-readable output (results/BENCH_<stem>.json).
+inline void run_figure(const char* figure_id, const char* stem,
+                       datagen::DatasetId id, double default_scale,
+                       const FigureOptions& opts) {
   const auto& prof = datagen::profile(id);
   const double scale = resolve_scale(default_scale);
   const auto db = prof.generate(scale);
   std::ofstream csv = open_csv("fig6_" + prof.name);
+  std::ofstream json = open_json(stem);
+
+  gpusim::ExecutorOptions eo;
+  eo.host_threads = opts.gpu_config.host_threads;
+  const std::uint32_t host_threads = gpusim::resolve_host_threads(eo);
+
+  if (json) {
+    json << "{\n"
+         << "  \"figure\": \"" << figure_id << "\",\n"
+         << "  \"dataset\": \"" << prof.name << "\",\n"
+         << "  \"scale\": " << scale << ",\n"
+         << "  \"git_sha\": \"" << git_sha() << "\",\n"
+         << "  \"host_threads\": " << host_threads << ",\n"
+         << "  \"device\": \""
+         << gpusim::DeviceProperties::tesla_t10().name << "\",\n"
+         << "  \"rows\": [";
+  }
+  bool first_row = true;
 
   std::printf("=== %s: runtime vs minimum support, %s ===\n", figure_id,
               prof.name.c_str());
@@ -87,14 +137,15 @@ inline void run_figure(const char* figure_id, datagen::DatasetId id,
                 std::string(m->platform()).c_str());
   std::printf("\n");
 
-  std::printf("%-8s %-18s %12s %12s %12s %10s %10s\n", "minsup", "miner",
-              "host_ms", "device_ms", "total_ms", "vs_borgelt", "#itemsets");
+  std::printf("%-8s %-18s %12s %12s %12s %10s %10s %10s\n", "minsup", "miner",
+              "host_ms", "device_ms", "total_ms", "wall_ms", "vs_borgelt",
+              "#itemsets");
   for (double sup : prof.support_sweep) {
     miners::MiningParams params;
     params.min_support_ratio = sup;
 
     double borgelt_ms = 0;
-    std::vector<std::tuple<std::string, miners::MiningOutput>> rows;
+    std::vector<std::tuple<std::string, miners::MiningOutput, double>> rows;
     for (auto& miner : gpapriori::make_all_miners(opts.gpu_config)) {
       const std::string name{miner->name()};
       if (name == "Goethals Apriori" &&
@@ -103,24 +154,40 @@ inline void run_figure(const char* figure_id, datagen::DatasetId id,
       if (!opts.include_extensions &&
           (name.starts_with("Eclat") || name == "FP-Growth"))
         continue;
+      const auto t0 = std::chrono::steady_clock::now();
       auto out = miner->mine(db, params);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
       if (name == "Borgelt Apriori") borgelt_ms = out.total_ms();
-      rows.emplace_back(name, std::move(out));
+      rows.emplace_back(name, std::move(out), wall_ms);
     }
-    for (const auto& [name, out] : rows) {
+    for (const auto& [name, out, wall_ms] : rows) {
       const double speedup =
           borgelt_ms > 0 ? borgelt_ms / out.total_ms() : 0.0;
-      std::printf("%-8.4g %-18s %12.2f %12.3f %12.2f %9.2fx %10zu\n", sup,
-                  name.c_str(), out.host_ms, out.device_ms, out.total_ms(),
-                  speedup, out.itemsets.size());
+      std::printf("%-8.4g %-18s %12.2f %12.3f %12.2f %12.1f %9.2fx %10zu\n",
+                  sup, name.c_str(), out.host_ms, out.device_ms,
+                  out.total_ms(), wall_ms, speedup, out.itemsets.size());
       if (csv)
         csv << sup << ',' << name << ',' << out.host_ms << ','
             << out.device_ms << ',' << out.total_ms() << ','
             << out.itemsets.size() << '\n';
+      if (json) {
+        json << (first_row ? "\n" : ",\n") << "    {\"minsup\": " << sup
+             << ", \"miner\": \"" << name << "\", \"host_ms\": " << out.host_ms
+             << ", \"device_ms\": " << out.device_ms
+             << ", \"total_ms\": " << out.total_ms()
+             << ", \"wall_ms\": " << wall_ms
+             << ", \"itemsets\": " << out.itemsets.size()
+             << ", \"speedup_vs_borgelt\": " << speedup << "}";
+        first_row = false;
+      }
     }
     // The §V headline comparison for this support point.
     double gpu = -1, cpu = -1;
-    for (const auto& [name, out] : rows) {
+    for (const auto& [name, out, wall_ms] : rows) {
+      (void)wall_ms;
       if (name == "GPApriori") gpu = out.total_ms();
       if (name == "CPU_TEST") cpu = out.total_ms();
     }
@@ -128,6 +195,7 @@ inline void run_figure(const char* figure_id, datagen::DatasetId id,
       std::printf("         -> GPApriori vs CPU_TEST: %.2fx\n", cpu / gpu);
     std::printf("\n");
   }
+  if (json) json << "\n  ]\n}\n";
 }
 
 }  // namespace bench

@@ -10,7 +10,7 @@ int main() {
   bench::FigureOptions opts;
   opts.include_goethals = true;
   opts.goethals_min_support = 0.015;
-  bench::run_figure("Fig. 6(a)", datagen::DatasetId::kT40I10D100K,
+  bench::run_figure("Fig. 6(a)", "fig6a", datagen::DatasetId::kT40I10D100K,
                     /*default_scale=*/0.25, opts);
   return 0;
 }

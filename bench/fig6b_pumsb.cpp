@@ -5,7 +5,7 @@
 
 int main() {
   bench::FigureOptions opts;
-  bench::run_figure("Fig. 6(b)", datagen::DatasetId::kPumsb,
+  bench::run_figure("Fig. 6(b)", "fig6b", datagen::DatasetId::kPumsb,
                     /*default_scale=*/0.2, opts);
   return 0;
 }

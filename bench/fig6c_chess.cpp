@@ -7,7 +7,7 @@
 
 int main() {
   bench::FigureOptions opts;
-  bench::run_figure("Fig. 6(c)", datagen::DatasetId::kChess,
+  bench::run_figure("Fig. 6(c)", "fig6c", datagen::DatasetId::kChess,
                     /*default_scale=*/1.0, opts);
   return 0;
 }

@@ -8,7 +8,7 @@
 
 int main() {
   bench::FigureOptions opts;
-  bench::run_figure("Fig. 6(d)", datagen::DatasetId::kAccidents,
+  bench::run_figure("Fig. 6(d)", "fig6d", datagen::DatasetId::kAccidents,
                     /*default_scale=*/0.1, opts);
   return 0;
 }

@@ -44,6 +44,12 @@ struct Config {
   /// Detailed coalescing analysis stride (gpusim::ExecutorOptions).
   std::uint64_t sample_stride = 64;
 
+  /// Host worker threads executing independent simulated blocks
+  /// concurrently (gpusim::ExecutorOptions::host_threads). 0 = auto
+  /// (GPAPRIORI_HOST_THREADS env var, else hardware concurrency);
+  /// 1 = sequential. Results are byte-identical for every value.
+  std::uint32_t host_threads = 0;
+
   /// Bounds-check every device access against live allocations (tests).
   bool strict_memory = false;
 

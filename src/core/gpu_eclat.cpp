@@ -124,6 +124,7 @@ miners::MiningOutput GpuEclat::mine(const fim::TransactionDb& db,
   dopts.arena_bytes = cfg_.arena_bytes;
   dopts.strict_memory = cfg_.strict_memory;
   dopts.executor.sample_stride = cfg_.sample_stride;
+  dopts.executor.host_threads = cfg_.host_threads;
   dopts.record_launches = false;  // DFS can launch thousands of kernels
   gpusim::Device device(cfg_.device, dopts);
 

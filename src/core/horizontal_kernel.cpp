@@ -1,5 +1,7 @@
 #include "core/horizontal_kernel.hpp"
 
+#include <span>
+
 namespace gpapriori {
 
 void HorizontalCountKernel::run_phase(std::uint32_t /*phase*/,
@@ -8,6 +10,63 @@ void HorizontalCountKernel::run_phase(std::uint32_t /*phase*/,
       static_cast<std::uint64_t>(t.grid_dim().x) * t.block_dim().x;
   const std::uint64_t first =
       t.flat_block_idx() * t.block_dim().x + t.flat_tid();
+
+  if (!t.traced()) {
+    // Untraced fast path: identical merge walk over raw views with local
+    // load/ALU tallies, charged in bulk at the end (counter-equal to the
+    // traced loop below). atomicAdd stays a real per-call operation.
+    const std::span<const std::uint32_t> offs =
+        t.ld_global_span(args_.offsets, 0, args_.num_transactions + 1, 0);
+    const std::uint64_t total_items =
+        args_.num_transactions ? offs[args_.num_transactions] : 0;
+    const std::span<const std::uint32_t> items =
+        t.ld_global_span(args_.items, 0, total_items, 0);
+    const std::span<const std::uint32_t> cands = t.ld_global_span(
+        args_.candidates, 0,
+        static_cast<std::uint64_t>(args_.num_candidates) * args_.k, 0);
+
+    std::uint64_t loads = 0, alus = 0;
+    for (std::uint64_t tx = first; tx < args_.num_transactions; tx += stride) {
+      const std::uint32_t lo = offs[tx];
+      const std::uint32_t hi = offs[tx + 1];
+      const std::uint32_t len = hi - lo;
+      loads += 2;
+      alus += 2;
+
+      for (std::uint32_t c = 0; c < args_.num_candidates; ++c) {
+        if (len < args_.k) {
+          alus += 1;
+          continue;
+        }
+        std::uint32_t matched = 0, j = 0;
+        for (std::uint32_t ci = 0; ci < args_.k; ++ci) {
+          const std::uint32_t want =
+              cands[static_cast<std::uint64_t>(c) * args_.k + ci];
+          loads += 1;
+          while (j < len) {
+            const std::uint32_t have = items[lo + j];
+            loads += 1;
+            alus += 1;
+            ++j;
+            if (have == want) {
+              ++matched;
+              break;
+            }
+            if (have > want) {
+              j = len;
+              break;
+            }
+          }
+          if (matched != ci + 1) break;
+        }
+        if (matched == args_.k) t.atomic_add_global(args_.supports, c, 1);
+        alus += 2;  // candidate-loop control
+      }
+    }
+    t.ld_global_bulk(loads, 4);
+    t.alu_bulk(alus);
+    return;
+  }
 
   for (std::uint64_t tx = first; tx < args_.num_transactions; tx += stride) {
     const std::uint32_t lo = t.ld_global(args_.offsets, tx);

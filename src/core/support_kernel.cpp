@@ -1,6 +1,9 @@
 #include "core/support_kernel.hpp"
 
+#include <algorithm>
 #include <bit>
+
+#include "gpusim/error.hpp"
 
 namespace gpapriori {
 
@@ -11,6 +14,13 @@ std::uint32_t SupportKernel::phase_count(std::uint32_t block_size) {
 }
 
 gpusim::KernelInfo SupportKernel::info(const gpusim::LaunchConfig& cfg) const {
+  // The tree reduction halves blockDim.x every phase, so a non-power-of-two
+  // block would silently drop partial sums (threads in [2^floor(log2 B), B)
+  // are never reduced in). Reject at launch instead of miscounting.
+  if (!std::has_single_bit(cfg.block.x))
+    throw gpusim::LaunchError(
+        "gpapriori_support: block.x must be a power of two (got " +
+        std::to_string(cfg.block.x) + ")");
   gpusim::KernelInfo i;
   i.num_phases = phase_count(cfg.block.x);
   // Shared layout: blockDim partial sums, then the preloaded candidate.
@@ -40,7 +50,52 @@ void SupportKernel::run_phase(std::uint32_t phase,
   }
 
   if (phase == 1) {
-    // Complete intersection: stride-blockDim loop over 32-bit words.
+    // Complete intersection: stride-blockDim loop over 32-bit words. This
+    // thread visits n_iters = ceil((words_per_row - tid) / blockDim) words.
+    const std::uint64_t k = args_.k;
+    const std::uint64_t n_iters =
+        tid < args_.words_per_row
+            ? (args_.words_per_row - 1 - tid) / block + 1
+            : 0;
+    // Loop-control charge groups: one per completed unroll group plus one
+    // for the trailing partial group (= ceil(n_iters / unroll)).
+    const std::uint64_t groups =
+        unroll_ <= 1 ? n_iters : (n_iters + unroll_ - 1) / unroll_;
+
+    if (!t.traced()) {
+      // Untraced fast path: raw views + analytic bulk accounting, charged
+      // counter-equal to the traced branch below (see the fast-vs-traced
+      // equivalence tests).
+      std::uint32_t count = 0;
+      if (n_iters != 0) {
+        const std::span<const std::uint32_t> rows =
+            preload_ ? t.ld_shared_span<std::uint32_t>(
+                           shared_cand_off(block, 0), k, k * n_iters)
+                     : t.ld_global_span(args_.candidates, cand * k, k,
+                                        k * n_iters);
+        std::uint32_t max_row = 0;
+        for (std::uint32_t r = 0; r < k; ++r)
+          max_row = std::max(max_row, rows[r]);
+        const std::span<const std::uint32_t> bits = t.ld_global_span(
+            args_.bitsets, 0,
+            static_cast<std::uint64_t>(max_row) * args_.stride_words +
+                args_.words_per_row,
+            k * n_iters);
+        for (std::uint64_t w = tid; w < args_.words_per_row; w += block) {
+          std::uint32_t acc = ~0u;
+          for (std::uint32_t r = 0; r < k; ++r)
+            acc &= bits[static_cast<std::uint64_t>(rows[r]) *
+                            args_.stride_words + w];
+          count += static_cast<std::uint32_t>(std::popcount(acc));
+        }
+        // Per iteration: k ANDs + popc + accumulate add; plus 2 loop-control
+        // ops per charge group.
+        t.alu_bulk((k + 2) * n_iters + 2 * groups);
+      }
+      t.st_shared<std::uint32_t>(shared_partial_off(tid), count);
+      return;
+    }
+
     std::uint32_t count = 0;
     std::uint32_t iter = 0;
     for (std::uint64_t w = tid; w < args_.words_per_row; w += block, ++iter) {
@@ -58,9 +113,11 @@ void SupportKernel::run_phase(std::uint32_t phase,
       count += t.popc(acc);
       t.alu(1);  // accumulate add
       // Loop control: with manual unrolling the index/branch overhead is
-      // paid once per `unroll` iterations instead of every iteration.
-      if (unroll_ <= 1 || iter % unroll_ == 0) t.alu(2);
+      // paid once per COMPLETED group of `unroll` iterations...
+      if (unroll_ <= 1 || (iter + 1) % unroll_ == 0) t.alu(2);
     }
+    // ...plus once for the trailing partial group.
+    if (unroll_ > 1 && iter % unroll_ != 0) t.alu(2);
     t.st_shared<std::uint32_t>(shared_partial_off(tid), count);
     return;
   }

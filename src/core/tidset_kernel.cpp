@@ -1,6 +1,7 @@
 #include "core/tidset_kernel.hpp"
 
 #include <bit>
+#include <span>
 
 namespace gpapriori {
 
@@ -26,6 +27,41 @@ void TidsetJoinKernel::run_phase(std::uint32_t phase,
     const std::uint32_t a_len = t.ld_global(args_.pair_table, pair * 4 + 1);
     const std::uint32_t b_start = t.ld_global(args_.pair_table, pair * 4 + 2);
     const std::uint32_t b_len = t.ld_global(args_.pair_table, pair * 4 + 3);
+
+    if (!t.traced()) {
+      // Untraced fast path: identical binary-search walk over raw views,
+      // with loads/ALU tallied locally and charged in bulk (counter-equal
+      // to the traced branch below).
+      const std::span<const std::uint32_t> a_view =
+          t.ld_global_span(args_.tids, a_start, a_len, 0);
+      const std::span<const std::uint32_t> b_view =
+          t.ld_global_span(args_.tids, b_start, b_len, 0);
+      std::uint32_t count = 0;
+      std::uint64_t n_iters = 0, probes = 0, finals = 0;
+      for (std::uint64_t i = tid; i < a_len; i += block, ++n_iters) {
+        const std::uint32_t needle = a_view[i];
+        std::uint32_t lo = 0, hi = b_len;
+        while (lo < hi) {
+          const std::uint32_t mid = lo + (hi - lo) / 2;
+          probes += 1;
+          if (b_view[mid] < needle) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        if (lo < b_len) {
+          finals += 1;
+          if (b_view[lo] == needle) count += 1;
+        }
+      }
+      // needle + probe + boundary-compare loads; 2 ALU per probe
+      // (compare + branch), 3 per iteration (loop control + final compare).
+      t.ld_global_bulk(n_iters + probes + finals, 4);
+      t.alu_bulk(2 * probes + 3 * n_iters);
+      t.st_shared<std::uint32_t>(static_cast<std::size_t>(tid) * 4, count);
+      return;
+    }
 
     std::uint32_t count = 0;
     for (std::uint64_t i = tid; i < a_len; i += block) {

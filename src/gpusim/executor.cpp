@@ -1,7 +1,14 @@
 #include "gpusim/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -104,6 +111,207 @@ std::uint64_t BlockRecorder::count_shared_races() const {
 
 }  // namespace detail
 
+namespace {
+
+constexpr std::uint32_t kMaxHostThreads = 256;
+
+/// Launches below this many thread-phases run on the calling thread: pool
+/// dispatch costs a few microseconds, which tiny grids cannot amortize.
+/// Deterministic in the launch shape only, so the sequential/parallel
+/// decision never depends on the host machine.
+constexpr std::uint64_t kMinParallelThreadPhases = 16 * 1024;
+
+/// Persistent host worker pool. Workers are spawned lazily, parked on a
+/// condition variable between kernels, and joined at process exit; one
+/// kernel launch at a time uses the pool (launches themselves are
+/// serialized, exactly like kernels on a GT200 compute engine).
+class HostPool {
+ public:
+  static HostPool& instance() {
+    static HostPool pool;
+    return pool;
+  }
+
+  /// Runs fn(0..n-1) across the pool; fn(0) executes on the caller.
+  /// fn must not throw (workers capture failures into per-chunk slots).
+  void run(std::uint32_t n, const std::function<void(std::uint32_t)>& fn) {
+    if (n <= 1) {
+      fn(0);
+      return;
+    }
+    const std::lock_guard serialize(run_mutex_);
+    {
+      std::lock_guard lk(m_);
+      while (threads_.size() < n - 1) {
+        threads_.emplace_back(
+            [this, idx = static_cast<std::uint32_t>(threads_.size()),
+             gen = generation_](const std::stop_token& st) {
+              worker(st, idx, gen);
+            });
+      }
+      job_ = &fn;
+      participants_ = n - 1;
+      done_ = 0;
+      ++generation_;
+    }
+    cv_.notify_all();
+    fn(0);
+    std::unique_lock lk(m_);
+    done_cv_.wait(lk, [&] { return done_ == participants_; });
+    job_ = nullptr;
+  }
+
+ private:
+  void worker(const std::stop_token& st, std::uint32_t idx,
+              std::uint64_t spawn_generation) {
+    std::uint64_t last_gen = spawn_generation;
+    std::unique_lock lk(m_);
+    for (;;) {
+      cv_.wait(lk, st, [&] { return generation_ != last_gen; });
+      if (st.stop_requested()) return;
+      last_gen = generation_;
+      if (idx < participants_) {
+        const auto* fn = job_;
+        lk.unlock();
+        (*fn)(idx + 1);
+        lk.lock();
+        if (++done_ == participants_) done_cv_.notify_one();
+      }
+    }
+  }
+
+  std::mutex run_mutex_;  ///< one job at a time
+  std::mutex m_;
+  std::condition_variable_any cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::uint32_t)>* job_ = nullptr;
+  std::uint32_t participants_ = 0;
+  std::uint32_t done_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::jthread> threads_;
+};
+
+/// Private accumulator for one contiguous chunk of the flat block range.
+/// Every field is a plain sum over the chunk's blocks, so merging chunks in
+/// block order reproduces the sequential executor's stats exactly.
+struct ChunkStats {
+  KernelCounters counters;
+  MemoryAccessStats load_coalescing;
+  MemoryAccessStats store_coalescing;
+  std::uint64_t sampled_blocks = 0;
+  std::uint64_t shared_requests = 0;
+  std::uint64_t shared_serialization = 0;
+  std::uint64_t shared_race_hazards = 0;
+};
+
+/// Per-worker scratch reused across the chunks a worker claims.
+struct WorkerScratch {
+  SharedMemory smem;
+  detail::BlockRecorder recorder;
+  std::vector<std::uint64_t> lane_ops;
+
+  WorkerScratch(std::size_t shared_bytes, std::uint32_t tpb)
+      : smem(shared_bytes), lane_ops(tpb) {}
+};
+
+/// Everything shared (immutably) by the workers of one launch.
+struct LaunchJob {
+  const Kernel* kernel;
+  const LaunchConfig* cfg;
+  const KernelInfo* info;
+  GlobalMemory* gmem;
+  const ExecutorOptions* opts;
+  std::size_t shared_bytes;
+  std::uint32_t tpb;
+  std::uint32_t num_warps;
+};
+
+/// Executes blocks [lo, hi) into `out`. This is the single block-execution
+/// path for both the sequential and the pooled executor — determinism
+/// across host_threads values follows from every chunk running this exact
+/// code and the merge happening in chunk (= block) order.
+void run_block_range(const LaunchJob& job, std::uint64_t lo, std::uint64_t hi,
+                     ChunkStats& out, WorkerScratch& scratch) {
+  const LaunchConfig& cfg = *job.cfg;
+  const ExecutorOptions& opts = *job.opts;
+  const std::uint32_t tpb = job.tpb;
+  // Nearly every launch is 1-D; skip the per-thread div/mod chain then
+  // (it is pure fixed overhead repeated tpb * num_phases times per block).
+  const bool block_1d = cfg.block.y == 1 && cfg.block.z == 1;
+
+  for (std::uint64_t flat_block = lo; flat_block < hi; ++flat_block) {
+    const bool sampled =
+        opts.sample_stride != 0 && (flat_block % opts.sample_stride == 0);
+    if (sampled) out.sampled_blocks += 1;
+
+    const Dim3 block_idx{
+        static_cast<std::uint32_t>(flat_block % cfg.grid.x),
+        static_cast<std::uint32_t>((flat_block / cfg.grid.x) % cfg.grid.y),
+        static_cast<std::uint32_t>(flat_block / (static_cast<std::uint64_t>(cfg.grid.x) * cfg.grid.y))};
+
+    scratch.smem.reset(job.shared_bytes);
+    out.counters.blocks += 1;
+    out.counters.threads += tpb;
+
+    for (std::uint32_t phase = 0; phase < job.info->num_phases; ++phase) {
+      if (sampled) scratch.recorder.begin_phase(job.num_warps);
+
+      for (std::uint32_t tid = 0; tid < tpb; ++tid) {
+        const Dim3 thread_idx =
+            block_1d ? Dim3{tid, 0, 0}
+                     : Dim3{tid % cfg.block.x, (tid / cfg.block.x) % cfg.block.y,
+                            tid / (cfg.block.x * cfg.block.y)};
+        detail::LaneTrace* trace =
+            sampled ? &scratch.recorder.lane(tid / 32, tid % 32) : nullptr;
+        ThreadCtx ctx(cfg.grid, cfg.block, block_idx, thread_idx, *job.gmem,
+                      scratch.smem, out.counters, trace);
+        job.kernel->run_phase(phase, ctx);
+        scratch.lane_ops[tid] = ctx.lane_ops();
+      }
+
+      // SIMT issue accounting: a warp issues max-over-lanes instructions.
+      for (std::uint32_t w = 0; w < job.num_warps; ++w) {
+        const std::uint32_t wlo = w * 32, whi = std::min(wlo + 32, tpb);
+        std::uint64_t mx = 0, mn = ~std::uint64_t{0}, sum = 0;
+        for (std::uint32_t t = wlo; t < whi; ++t) {
+          mx = std::max(mx, scratch.lane_ops[t]);
+          mn = std::min(mn, scratch.lane_ops[t]);
+          sum += scratch.lane_ops[t];
+        }
+        out.counters.warp_instructions += mx;
+        out.counters.thread_instructions += sum;
+        out.counters.warp_phases += 1;
+        if (mx != mn) out.counters.divergent_warp_phases += 1;
+      }
+      if (phase + 1 < job.info->num_phases) out.counters.barriers += 1;
+
+      if (sampled) {
+        scratch.recorder.analyze_phase(out.load_coalescing,
+                                       out.store_coalescing,
+                                       out.shared_requests,
+                                       out.shared_serialization);
+        if (opts.detect_shared_races)
+          out.shared_race_hazards += scratch.recorder.count_shared_races();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t resolve_host_threads(const ExecutorOptions& opts) {
+  if (opts.host_threads != 0)
+    return std::min(opts.host_threads, kMaxHostThreads);
+  if (const char* env = std::getenv("GPAPRIORI_HOST_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= kMaxHostThreads)
+      return static_cast<std::uint32_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : std::min(hw, kMaxHostThreads);
+}
+
 KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
                        GlobalMemory& gmem, const DeviceProperties& props,
                        const ExecutorOptions& opts) {
@@ -136,65 +344,66 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
       (tpb + static_cast<std::uint32_t>(props.warp_size) - 1) /
       static_cast<std::uint32_t>(props.warp_size);
 
-  SharedMemory smem(shared_bytes);
-  detail::BlockRecorder recorder;
-  std::vector<std::uint64_t> lane_ops(tpb);
+  const LaunchJob job{&kernel, &cfg,  &info,       &gmem,
+                      &opts,   shared_bytes, tpb, num_warps};
 
-  for (std::uint64_t flat_block = 0; flat_block < num_blocks; ++flat_block) {
-    const bool sampled =
-        opts.sample_stride != 0 && (flat_block % opts.sample_stride == 0);
-    if (sampled) stats.sampled_blocks += 1;
+  // Shape-deterministic scheduling decision: tiny grids stay sequential.
+  std::uint32_t workers = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(resolve_host_threads(opts), num_blocks));
+  if (num_blocks * tpb * info.num_phases < kMinParallelThreadPhases)
+    workers = 1;
 
-    const Dim3 block_idx{
-        static_cast<std::uint32_t>(flat_block % cfg.grid.x),
-        static_cast<std::uint32_t>((flat_block / cfg.grid.x) % cfg.grid.y),
-        static_cast<std::uint32_t>(flat_block / (static_cast<std::uint64_t>(cfg.grid.x) * cfg.grid.y))};
+  // More chunks than workers so stragglers rebalance; chunk boundaries are
+  // irrelevant to the result because chunk stats are exact integer sums
+  // merged in block order below.
+  const std::uint64_t num_chunks =
+      workers <= 1 ? 1 : std::min<std::uint64_t>(num_blocks, workers * 8ull);
+  std::vector<ChunkStats> chunks(num_chunks);
+  std::vector<std::exception_ptr> errors(num_chunks);
+  std::atomic<std::uint64_t> next_chunk{0};
+  std::atomic<bool> failed{false};
 
-    smem.reset(shared_bytes);
-    stats.counters.blocks += 1;
-    stats.counters.threads += tpb;
+  auto chunk_range = [&](std::uint64_t c) {
+    return std::pair<std::uint64_t, std::uint64_t>{
+        num_blocks * c / num_chunks, num_blocks * (c + 1) / num_chunks};
+  };
 
-    for (std::uint32_t phase = 0; phase < info.num_phases; ++phase) {
-      if (sampled) recorder.begin_phase(num_warps);
-      std::fill(lane_ops.begin(), lane_ops.end(), 0);
-
-      for (std::uint32_t tid = 0; tid < tpb; ++tid) {
-        const Dim3 thread_idx{tid % cfg.block.x,
-                              (tid / cfg.block.x) % cfg.block.y,
-                              tid / (cfg.block.x * cfg.block.y)};
-        detail::LaneTrace* trace =
-            sampled ? &recorder.lane(tid / 32, tid % 32) : nullptr;
-        ThreadCtx ctx(cfg.grid, cfg.block, block_idx, thread_idx, gmem, smem,
-                      stats.counters, trace);
-        kernel.run_phase(phase, ctx);
-        lane_ops[tid] = ctx.lane_ops();
-      }
-
-      // SIMT issue accounting: a warp issues max-over-lanes instructions.
-      for (std::uint32_t w = 0; w < num_warps; ++w) {
-        const std::uint32_t lo = w * 32, hi = std::min(lo + 32, tpb);
-        std::uint64_t mx = 0, mn = ~std::uint64_t{0}, sum = 0;
-        for (std::uint32_t t = lo; t < hi; ++t) {
-          mx = std::max(mx, lane_ops[t]);
-          mn = std::min(mn, lane_ops[t]);
-          sum += lane_ops[t];
-        }
-        stats.counters.warp_instructions += mx;
-        stats.counters.thread_instructions += sum;
-        stats.counters.warp_phases += 1;
-        if (mx != mn) stats.counters.divergent_warp_phases += 1;
-      }
-      if (phase + 1 < info.num_phases) stats.counters.barriers += 1;
-
-      if (sampled) {
-        recorder.analyze_phase(stats.gmem_load_coalescing,
-                               stats.gmem_store_coalescing,
-                               stats.shared_requests_sampled,
-                               stats.shared_serialization_sampled);
-        if (opts.detect_shared_races)
-          stats.shared_race_hazards += recorder.count_shared_races();
+  const auto work = [&](std::uint32_t) {
+    WorkerScratch scratch(shared_bytes, tpb);
+    for (;;) {
+      const std::uint64_t c =
+          next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks || failed.load(std::memory_order_relaxed)) break;
+      try {
+        const auto [lo, hi] = chunk_range(c);
+        run_block_range(job, lo, hi, chunks[c], scratch);
+      } catch (...) {
+        errors[c] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
       }
     }
+  };
+
+  HostPool::instance().run(workers, work);
+
+  // Fail deterministically: the error of the lowest failing block range
+  // wins, matching what strictly sequential execution would have thrown
+  // first. (Device memory past the failing block is unspecified either
+  // way; callers unwind via the resilience ladder.)
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  // Deterministic merge, in block order. All fields are integer sums, so
+  // the result is byte-identical to sequential execution regardless of
+  // which worker ran which chunk.
+  for (const ChunkStats& c : chunks) {
+    stats.counters.merge(c.counters);
+    stats.gmem_load_coalescing.merge(c.load_coalescing);
+    stats.gmem_store_coalescing.merge(c.store_coalescing);
+    stats.sampled_blocks += c.sampled_blocks;
+    stats.shared_requests_sampled += c.shared_requests;
+    stats.shared_serialization_sampled += c.shared_serialization;
+    stats.shared_race_hazards += c.shared_race_hazards;
   }
   return stats;
 }

@@ -4,8 +4,18 @@
 // run_kernel executes a kernel functionally (bit-exact results in
 // GlobalMemory) while accounting instructions, memory traffic, SIMT
 // divergence, and — on sampled blocks — full CC 1.3 coalescing and shared
-// memory bank behaviour. Execution is sequential and deterministic:
-// blocks in flat order, phases in order, threads in tid order.
+// memory bank behaviour.
+//
+// Host execution model (DESIGN.md §8): blocks are independent by
+// construction — own shared memory, barriers only intra-block — so the flat
+// block range is sharded into contiguous chunks executed by a persistent
+// pool of host worker threads. Each chunk accumulates into private
+// counters/coalescing stats that are merged in block order after the grid
+// completes, so KernelStats and device memory are byte-identical for every
+// host_threads value (including 1). Within a block, execution stays
+// sequential and deterministic: phases in order, threads in tid order.
+// Cross-block global-memory atomics go through real host atomics; any other
+// cross-block communication is as undefined here as it is on hardware.
 
 #include <cstdint>
 
@@ -24,7 +34,18 @@ struct ExecutorOptions {
   /// data races (a phase = code between __syncthreads, so cross-thread
   /// write/read overlaps within it are races on real hardware).
   bool detect_shared_races = true;
+  /// Host worker threads executing independent blocks concurrently.
+  /// 0 = auto: the GPAPRIORI_HOST_THREADS environment variable when set to
+  /// a positive integer, else std::thread::hardware_concurrency().
+  /// 1 = sequential on the calling thread. Mining output and KernelStats
+  /// are byte-identical for every value; only wall-clock changes.
+  std::uint32_t host_threads = 0;
 };
+
+/// The worker count run_kernel will actually use for these options
+/// (resolves the 0 = env-or-hardware_concurrency default, clamps to a sane
+/// maximum). Exposed so drivers and benches can report it.
+[[nodiscard]] std::uint32_t resolve_host_threads(const ExecutorOptions& opts);
 
 /// Validates the launch configuration against the device, runs the grid,
 /// and returns counters + sampled analysis + occupancy. Timing is filled in

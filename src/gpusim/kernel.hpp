@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 #include <bit>
@@ -178,7 +179,10 @@ class ThreadCtx {
 
   /// CUDA atomicAdd on global memory (GT200: one RMW transaction per lane;
   /// lanes of a warp hitting the SAME address serialize). Returns the old
-  /// value, like the hardware instruction.
+  /// value, like the hardware instruction. Executed with real host
+  /// atomicity so concurrently executing blocks never lose increments (the
+  /// SUM is deterministic; the returned old value is order-dependent on
+  /// hardware and here alike).
   std::uint32_t atomic_add_global(DevicePtr<std::uint32_t> p, std::uint64_t i,
                                   std::uint32_t v) {
     const std::uint64_t a = p.byte_of(i);
@@ -193,9 +197,78 @@ class ThreadCtx {
       trace_->store_addr.push_back(a);
       trace_->store_size.push_back(4);
     }
-    const auto old = gmem_->load<std::uint32_t>(a);
-    gmem_->store<std::uint32_t>(a, old + v);
-    return old;
+    return gmem_->atomic_fetch_add_u32(a, v);
+  }
+
+  // --- zero-trace fast path (untraced blocks only) ---
+  //
+  // On blocks the executor does NOT sample for coalescing analysis, kernels
+  // may replace per-access ld_*/alu() calls in uniform loops with one raw
+  // data view plus analytic bulk accounting. The contract is COUNTER
+  // EQUALITY: a kernel's fast branch must charge exactly the counters and
+  // lane ops its traced branch would, so KernelStats never depend on which
+  // branch ran (verified by the fast-vs-traced tests). These methods throw
+  // on traced contexts — a sampled block must replay every individual
+  // address through the coalescing model, so bulk accounting would corrupt
+  // its trace.
+
+  /// True when this thread's accesses are being recorded for coalescing /
+  /// bank-conflict / race analysis; kernels branch on this to pick the
+  /// per-access (traced) or bulk (fast) implementation of a phase.
+  [[nodiscard]] bool traced() const { return trace_ != nullptr; }
+
+  /// Charges `n` ALU/control instructions in one call (fast-path analogue
+  /// of calling alu() inside a loop).
+  void alu_bulk(std::uint64_t n) {
+    require_untraced();
+    lane_ops_ += n;
+  }
+
+  /// Accounts `accessed` global loads of T and returns a raw read-only
+  /// view of elements [first, first+count) for the loop body to index.
+  /// `accessed` defaults to `count` (contiguous sweep); strided loops pass
+  /// the per-lane iteration count instead, and data-dependent loops may
+  /// pass 0 here and settle the tally via ld_global_bulk() afterwards.
+  template <typename T>
+  [[nodiscard]] std::span<const T> ld_global_span(DevicePtr<T> p,
+                                                  std::uint64_t first,
+                                                  std::uint64_t count) {
+    return ld_global_span(p, first, count, count);
+  }
+  template <typename T>
+  [[nodiscard]] std::span<const T> ld_global_span(DevicePtr<T> p,
+                                                  std::uint64_t first,
+                                                  std::uint64_t count,
+                                                  std::uint64_t accessed) {
+    require_untraced();
+    ld_global_bulk(accessed, sizeof(T));
+    return gmem_->view<T>(p.byte_of(first), count);
+  }
+
+  /// Shared-memory counterpart of ld_global_span.
+  template <typename T>
+  [[nodiscard]] std::span<const T> ld_shared_span(std::size_t byte_offset,
+                                                  std::size_t count,
+                                                  std::uint64_t accessed) {
+    require_untraced();
+    ld_shared_bulk(accessed);
+    return smem_->view<T>(byte_offset, count);
+  }
+
+  /// Accounts `n` global loads of `bytes_each` without touching data —
+  /// used when the access count is only known after a data-dependent loop.
+  void ld_global_bulk(std::uint64_t n, std::uint32_t bytes_each) {
+    require_untraced();
+    counters_->global_loads += n;
+    counters_->global_load_bytes += n * bytes_each;
+    lane_ops_ += n;
+  }
+
+  /// Accounts `n` shared-memory loads without touching data.
+  void ld_shared_bulk(std::uint64_t n) {
+    require_untraced();
+    counters_->shared_loads += n;
+    lane_ops_ += n;
   }
 
   // --- ALU accounting and intrinsics ---
@@ -212,6 +285,13 @@ class ThreadCtx {
   [[nodiscard]] std::uint64_t lane_ops() const { return lane_ops_; }
 
  private:
+  void require_untraced() const {
+    if (trace_ != nullptr)
+      throw SimError(
+          "ThreadCtx: bulk fast-path accounting used in a traced context "
+          "(kernels must branch on traced())");
+  }
+
   Dim3 grid_dim_, block_dim_, block_idx_, thread_idx_;
   GlobalMemory* gmem_;
   SharedMemory* smem_;

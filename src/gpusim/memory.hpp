@@ -8,6 +8,7 @@
 // NOT a host pointer, so host code cannot dereference device data without
 // going through an explicit copy, mirroring the CUDA discipline.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -85,6 +86,30 @@ class GlobalMemory {
   void store(std::uint64_t addr, T v) {
     check(addr, sizeof(T));
     std::memcpy(data_.data() + addr, &v, sizeof(T));
+  }
+
+  /// Atomic 32-bit fetch-add, the functional core of the simulated
+  /// atomicAdd. Real atomicity matters now that independent blocks execute
+  /// on concurrent host threads: plain load+store would lose increments.
+  std::uint32_t atomic_fetch_add_u32(std::uint64_t addr, std::uint32_t v) {
+    check(addr, 4);
+    if (addr % 4 != 0)
+      throw SimError("GlobalMemory: misaligned 32-bit atomic");
+    auto* p = reinterpret_cast<std::uint32_t*>(data_.data() + addr);
+    return std::atomic_ref<std::uint32_t>(*p).fetch_add(
+        v, std::memory_order_relaxed);
+  }
+
+  /// Bounds-checked read-only view of `count` elements starting at `addr`
+  /// — the executor's untraced fast path reads device data through this
+  /// instead of per-element load() calls. One check covers the whole range
+  /// (in strict mode the range must lie inside a single live allocation,
+  /// like every individual access would have to).
+  template <typename T>
+  [[nodiscard]] std::span<const T> view(std::uint64_t addr,
+                                        std::size_t count) const {
+    if (count != 0) check(addr, count * sizeof(T));
+    return {reinterpret_cast<const T*>(data_.data() + addr), count};
   }
 
   [[nodiscard]] std::size_t capacity() const { return data_.size(); }
