@@ -13,9 +13,11 @@
 // who wins, by roughly what factor, where the curves cross — hold at both
 // scales. EXPERIMENTS.md records the scale used for the committed numbers.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -46,7 +48,21 @@ struct FigureOptions {
   double goethals_min_support = 0.0;  ///< skip Goethals below this
   bool include_extensions = true;     ///< Eclat / FP-Growth (beyond Table 1)
   gpapriori::Config gpu_config;
+  /// Timed passes per miner per support point; wall_ms reports the median.
+  /// With repeat > 1 an extra untimed warmup pass runs first. Fig6 mains
+  /// set this from --repeat N.
+  int repeat = 1;
 };
+
+/// Parses --repeat N from a bench binary's argv (ignores everything else).
+inline int parse_repeat(int argc, char** argv, int fallback = 1) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--repeat") == 0) {
+      const int n = std::atoi(argv[i + 1]);
+      if (n >= 1) return n;
+    }
+  return fallback;
+}
 
 inline void print_dataset_header(const datagen::DatasetProfile& prof,
                                  const fim::TransactionDb& db, double scale) {
@@ -111,7 +127,9 @@ inline void run_figure(const char* figure_id, const char* stem,
 
   gpusim::ExecutorOptions eo;
   eo.host_threads = opts.gpu_config.host_threads;
+  eo.native = opts.gpu_config.native;
   const std::uint32_t host_threads = gpusim::resolve_host_threads(eo);
+  const bool native = gpusim::resolve_native(eo);
 
   if (json) {
     json << "{\n"
@@ -120,6 +138,9 @@ inline void run_figure(const char* figure_id, const char* stem,
          << "  \"scale\": " << scale << ",\n"
          << "  \"git_sha\": \"" << git_sha() << "\",\n"
          << "  \"host_threads\": " << host_threads << ",\n"
+         << "  \"exec_path\": \"" << (native ? "native" : "interpreted")
+         << "\",\n"
+         << "  \"repeat\": " << opts.repeat << ",\n"
          << "  \"device\": \""
          << gpusim::DeviceProperties::tesla_t10().name << "\",\n"
          << "  \"rows\": [";
@@ -154,12 +175,24 @@ inline void run_figure(const char* figure_id, const char* stem,
       if (!opts.include_extensions &&
           (name.starts_with("Eclat") || name == "FP-Growth"))
         continue;
-      const auto t0 = std::chrono::steady_clock::now();
-      auto out = miner->mine(db, params);
+      // repeat > 1: one untimed warmup, then median-of-N wall clock (the
+      // mining output is deterministic, so every pass returns identical
+      // itemsets and the warmup result can be discarded).
+      if (opts.repeat > 1) (void)miner->mine(db, params);
+      std::vector<double> walls;
+      miners::MiningOutput out;
+      for (int rep = 0; rep < opts.repeat; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        out = miner->mine(db, params);
+        walls.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+      }
+      std::sort(walls.begin(), walls.end());
       const double wall_ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - t0)
-              .count();
+          walls.size() % 2 == 1
+              ? walls[walls.size() / 2]
+              : 0.5 * (walls[walls.size() / 2 - 1] + walls[walls.size() / 2]);
       if (name == "Borgelt Apriori") borgelt_ms = out.total_ms();
       rows.emplace_back(name, std::move(out), wall_ms);
     }

@@ -6,8 +6,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   bench::FigureOptions opts;
+  opts.repeat = bench::parse_repeat(argc, argv);
   opts.include_goethals = true;
   opts.goethals_min_support = 0.015;
   bench::run_figure("Fig. 6(a)", "fig6a", datagen::DatasetId::kT40I10D100K,

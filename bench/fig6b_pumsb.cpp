@@ -3,8 +3,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   bench::FigureOptions opts;
+  opts.repeat = bench::parse_repeat(argc, argv);
   bench::run_figure("Fig. 6(b)", "fig6b", datagen::DatasetId::kPumsb,
                     /*default_scale=*/0.2, opts);
   return 0;

@@ -5,8 +5,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   bench::FigureOptions opts;
+  opts.repeat = bench::parse_repeat(argc, argv);
   bench::run_figure("Fig. 6(c)", "fig6c", datagen::DatasetId::kChess,
                     /*default_scale=*/1.0, opts);
   return 0;

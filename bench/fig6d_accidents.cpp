@@ -6,8 +6,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   bench::FigureOptions opts;
+  opts.repeat = bench::parse_repeat(argc, argv);
   bench::run_figure("Fig. 6(d)", "fig6d", datagen::DatasetId::kAccidents,
                     /*default_scale=*/0.1, opts);
   return 0;

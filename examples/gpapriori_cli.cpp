@@ -51,6 +51,7 @@ int usage() {
       "N]\n"
       "                [--max-size K] [--rules CONF] [--closed | --maximal]\n"
       "                [--out FILE] [--fault-plan SPEC] [--host-threads N]\n"
+      "                [--no-native]\n"
       "  gpapriori_cli topk <file.dat> <K> [--algo NAME]\n"
       "  gpapriori_cli list-algos\n"
       "\n"
@@ -58,6 +59,11 @@ int usage() {
       "threads (0 = auto: GPAPRIORI_HOST_THREADS env var, else hardware\n"
       "concurrency; 1 = sequential). Output and device statistics are\n"
       "byte-identical for every value; only wall-clock time changes.\n"
+      "\n"
+      "--no-native forces untraced simulated blocks through the per-thread\n"
+      "interpreter instead of the vectorized whole-block path (results and\n"
+      "statistics are bit-identical either way; the GPAPRIORI_NO_NATIVE\n"
+      "environment variable has the same effect).\n"
       "\n"
       "--fault-plan injects deterministic device faults (GPApriori and the\n"
       "partitioned variant), e.g. --fault-plan \'seed=42;h2d#3=fail;\n"
@@ -106,6 +112,7 @@ struct Options {
   std::string out_path;
   std::string fault_plan;
   std::uint32_t host_threads = 0;
+  bool native = true;
 };
 
 bool parse_flags(int argc, char** argv, int start, Options& o) {
@@ -156,6 +163,8 @@ bool parse_flags(int argc, char** argv, int start, Options& o) {
         return false;
       }
       o.host_threads = static_cast<std::uint32_t>(n);
+    } else if (a == "--no-native") {
+      o.native = false;
     } else if (a == "--fault-plan") {
       const char* v = next("--fault-plan");
       if (!v) return false;
@@ -179,6 +188,7 @@ int cmd_mine(int argc, char** argv) {
   }
   gpapriori::Config cfg;
   cfg.host_threads = o.host_threads;
+  cfg.native = o.native;
   if (!o.fault_plan.empty()) {
     try {
       cfg.fault_plan = gpusim::FaultPlan::parse(o.fault_plan);

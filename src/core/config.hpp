@@ -50,6 +50,13 @@ struct Config {
   /// 1 = sequential. Results are byte-identical for every value.
   std::uint32_t host_threads = 0;
 
+  /// NATIVE execution tier (gpusim::ExecutorOptions::native): untraced
+  /// blocks of kernels with a whole-block vectorized implementation skip
+  /// the per-thread interpreter. Results and KernelStats are bit-identical
+  /// either way (counter-equality contract, DESIGN.md §9); disable via
+  /// --no-native or GPAPRIORI_NO_NATIVE to force the interpreter path.
+  bool native = true;
+
   /// Bounds-check every device access against live allocations (tests).
   bool strict_memory = false;
 

@@ -211,6 +211,7 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
   dopts.strict_memory = cfg_.strict_memory;
   dopts.executor.sample_stride = cfg_.sample_stride;
   dopts.executor.host_threads = cfg_.host_threads;
+  dopts.executor.native = cfg_.native;
   dopts.fault_plan = cfg_.fault_plan;
   gpusim::Device device(cfg_.device, dopts);
   FaultAwareDevice fdev(device, cfg_.retry, report_);

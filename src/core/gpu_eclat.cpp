@@ -125,6 +125,7 @@ miners::MiningOutput GpuEclat::mine(const fim::TransactionDb& db,
   dopts.strict_memory = cfg_.strict_memory;
   dopts.executor.sample_stride = cfg_.sample_stride;
   dopts.executor.host_threads = cfg_.host_threads;
+  dopts.executor.native = cfg_.native;
   dopts.record_launches = false;  // DFS can launch thousands of kernels
   gpusim::Device device(cfg_.device, dopts);
 

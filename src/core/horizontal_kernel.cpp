@@ -107,4 +107,77 @@ void HorizontalCountKernel::run_phase(std::uint32_t /*phase*/,
   }
 }
 
+bool HorizontalCountKernel::run_block_native(gpusim::BlockCtx& b) const {
+  if (b.block_dim().y != 1 || b.block_dim().z != 1) return false;
+  const std::uint32_t tpb = b.num_threads();
+  const std::uint64_t stride =
+      static_cast<std::uint64_t>(b.grid_dim().x) * b.block_dim().x;
+  const std::uint64_t block_first = b.flat_block_idx() * b.block_dim().x;
+
+  const auto offs = b.view(args_.offsets, 0, args_.num_transactions + 1);
+  const std::uint64_t total_items =
+      args_.num_transactions ? offs[args_.num_transactions] : 0;
+  const auto items = b.view(args_.items, 0, total_items);
+  const auto cands = b.view(
+      args_.candidates, 0,
+      static_cast<std::uint64_t>(args_.num_candidates) * args_.k);
+
+  // Same merge walk as the interpreter, whole block at once. Loads/ALU are
+  // tallied per lane (data-dependent transaction lengths diverge lanes);
+  // each match is a real atomic charged as one RMW (2 lane ops).
+  const auto ops = b.lane_ops_scratch();
+  std::uint64_t total_loads = 0, total_atomics = 0;
+  for (std::uint32_t tid = 0; tid < tpb; ++tid) {
+    std::uint64_t loads = 0, alus = 0, atomics = 0;
+    for (std::uint64_t tx = block_first + tid; tx < args_.num_transactions;
+         tx += stride) {
+      const std::uint32_t lo = offs[tx];
+      const std::uint32_t hi = offs[tx + 1];
+      const std::uint32_t len = hi - lo;
+      loads += 2;
+      alus += 2;
+
+      for (std::uint32_t c = 0; c < args_.num_candidates; ++c) {
+        if (len < args_.k) {
+          alus += 1;
+          continue;
+        }
+        std::uint32_t matched = 0, j = 0;
+        for (std::uint32_t ci = 0; ci < args_.k; ++ci) {
+          const std::uint32_t want =
+              cands[static_cast<std::uint64_t>(c) * args_.k + ci];
+          loads += 1;
+          while (j < len) {
+            const std::uint32_t have = items[lo + j];
+            loads += 1;
+            alus += 1;
+            ++j;
+            if (have == want) {
+              ++matched;
+              break;
+            }
+            if (have > want) {
+              j = len;
+              break;
+            }
+          }
+          if (matched != ci + 1) break;
+        }
+        if (matched == args_.k) {
+          b.atomic_fetch_add(args_.supports, c, 1);
+          atomics += 1;
+        }
+        alus += 2;  // candidate-loop control
+      }
+    }
+    total_loads += loads;
+    total_atomics += atomics;
+    ops[tid] = loads + alus + 2 * atomics;
+  }
+  b.charge_global_loads(total_loads, 4 * total_loads);
+  b.charge_global_atomics(total_atomics);
+  b.charge_phase([&](std::uint32_t tid) { return ops[tid]; });
+  return true;
+}
+
 }  // namespace gpapriori

@@ -40,6 +40,12 @@ class HorizontalCountKernel final : public gpusim::Kernel {
   }
   void run_phase(std::uint32_t phase, gpusim::ThreadCtx& t) const override;
 
+  /// NATIVE tier: the whole block's grid-stride merge walk in one call.
+  /// atomicAdd stays a real per-match host atomic so cross-block sums
+  /// survive; per-lane op tallies are data-dependent and go through
+  /// BlockCtx::lane_ops_scratch (DESIGN.md §9).
+  bool run_block_native(gpusim::BlockCtx& b) const override;
+
  private:
   Args args_;
 };

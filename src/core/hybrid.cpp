@@ -50,6 +50,7 @@ miners::MiningOutput HybridApriori::mine(const fim::TransactionDb& db,
   dopts.strict_memory = cfg_.strict_memory;
   dopts.executor.sample_stride = cfg_.sample_stride;
   dopts.executor.host_threads = cfg_.host_threads;
+  dopts.executor.native = cfg_.native;
   dopts.record_launches = false;
   gpusim::Device device(cfg_.device, dopts);
   auto d_bitsets = device.alloc<std::uint32_t>(store.arena().size(),

@@ -54,6 +54,7 @@ miners::MiningOutput MultiGpuApriori::mine(const fim::TransactionDb& db,
   dopts.strict_memory = cfg_.strict_memory;
   dopts.executor.sample_stride = cfg_.sample_stride;
   dopts.executor.host_threads = cfg_.host_threads;
+  dopts.executor.native = cfg_.native;
   dopts.record_launches = false;
   std::vector<std::unique_ptr<gpusim::Device>> devices;
   std::vector<gpusim::DevicePtr<std::uint32_t>> d_bitsets;

@@ -85,6 +85,7 @@ miners::MiningOutput PartitionedGpApriori::mine(
   dopts.strict_memory = cfg_.strict_memory;
   dopts.executor.sample_stride = cfg_.sample_stride;
   dopts.executor.host_threads = cfg_.host_threads;
+  dopts.executor.native = cfg_.native;
   dopts.record_launches = false;
   dopts.fault_plan = cfg_.fault_plan;
   gpusim::Device device(cfg_.device, dopts);

@@ -46,6 +46,12 @@ class SupportKernel final : public gpusim::Kernel {
       const gpusim::LaunchConfig& cfg) const override;
   void run_phase(std::uint32_t phase, gpusim::ThreadCtx& t) const override;
 
+  /// NATIVE tier: the whole block's complete intersection as a word-tiled
+  /// 64-bit AND + std::popcount sweep (candidate ids loaded once, tiles
+  /// sized to L1), with closed-form counter accounting equal to the
+  /// interpreted phases. See DESIGN.md §9.
+  bool run_block_native(gpusim::BlockCtx& b) const override;
+
   /// Phases for a given block size: preload + accumulate + log2(B)
   /// reduction steps + writeback.
   [[nodiscard]] static std::uint32_t phase_count(std::uint32_t block_size);

@@ -106,4 +106,70 @@ void TidsetJoinKernel::run_phase(std::uint32_t phase,
     t.st_global(args_.out, pair, t.ld_shared<std::uint32_t>(0));
 }
 
+bool TidsetJoinKernel::run_block_native(gpusim::BlockCtx& b) const {
+  if (b.block_dim().y != 1 || b.block_dim().z != 1) return false;
+  const std::uint32_t block = b.block_dim().x;
+  const std::uint32_t tpb = b.num_threads();
+  const std::uint64_t pair = b.flat_block_idx();
+  const auto log2b = static_cast<std::uint32_t>(std::countr_zero(block));
+
+  const std::uint32_t a_start = b.load(args_.pair_table, pair * 4 + 0);
+  const std::uint32_t a_len = b.load(args_.pair_table, pair * 4 + 1);
+  const std::uint32_t b_start = b.load(args_.pair_table, pair * 4 + 2);
+  const std::uint32_t b_len = b.load(args_.pair_table, pair * 4 + 3);
+  const auto a_view = b.view(args_.tids, a_start, a_len);
+  const auto b_view = b.view(args_.tids, b_start, b_len);
+
+  // Phase 0 — the strided binary-search walk of every lane, with the exact
+  // data-dependent load/ALU tallies the interpreter would produce:
+  // ops(tid) = 4 pair-table loads + st_shared + (n_iters + probes + finals)
+  // loads + 2 ALU per probe + 3 per iteration.
+  const auto ops = b.lane_ops_scratch();
+  std::uint64_t total = 0;        // block-wide intersection count
+  std::uint64_t data_loads = 0;   // needle + probe + boundary-compare loads
+  for (std::uint32_t tid = 0; tid < tpb; ++tid) {
+    std::uint32_t count = 0;
+    std::uint64_t n_iters = 0, probes = 0, finals = 0;
+    for (std::uint64_t i = tid; i < a_len; i += block, ++n_iters) {
+      const std::uint32_t needle = a_view[i];
+      std::uint32_t lo = 0, hi = b_len;
+      while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        probes += 1;
+        if (b_view[mid] < needle) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo < b_len) {
+        finals += 1;
+        if (b_view[lo] == needle) count += 1;
+      }
+    }
+    total += count;
+    data_loads += n_iters + probes + finals;
+    ops[tid] = 5 + 4 * n_iters + 3 * probes + finals;
+  }
+  b.charge_global_loads(4ull * tpb + data_loads, 4 * (4ull * tpb + data_loads));
+  b.charge_shared_stores(tpb);
+  b.charge_phase([&](std::uint32_t tid) { return ops[tid]; });
+
+  // Reduction phases (the native sum above replaces them functionally; the
+  // uint32 partial adds wrap identically to a direct sum).
+  for (std::uint32_t p = 1; p < 1 + log2b; ++p) {
+    const std::uint32_t s = block >> p;
+    b.charge_shared_loads(2ull * s);
+    b.charge_shared_stores(s);
+    b.charge_split_phase(s, 4, 0);
+  }
+
+  // Writeback: thread 0.
+  b.charge_shared_loads(1);
+  b.charge_global_stores(1, 4);
+  b.charge_split_phase(1, 2, 0);
+  b.store(args_.out, pair, static_cast<std::uint32_t>(total));
+  return true;
+}
+
 }  // namespace gpapriori

@@ -33,6 +33,12 @@ class TidsetJoinKernel final : public gpusim::Kernel {
       const gpusim::LaunchConfig& cfg) const override;
   void run_phase(std::uint32_t phase, gpusim::ThreadCtx& t) const override;
 
+  /// NATIVE tier: the whole pair-join in one call — identical per-lane
+  /// binary-search walks (probe counts are data-dependent, so per-lane ops
+  /// go through BlockCtx::lane_ops_scratch), summed directly instead of
+  /// tree-reduced. Counter-equal to the interpreted phases (DESIGN.md §9).
+  bool run_block_native(gpusim::BlockCtx& b) const override;
+
  private:
   Args args_;
 };

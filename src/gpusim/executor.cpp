@@ -224,6 +224,7 @@ struct LaunchJob {
   std::size_t shared_bytes;
   std::uint32_t tpb;
   std::uint32_t num_warps;
+  bool native;  ///< resolve_native(opts), computed once per launch
 };
 
 /// Executes blocks [lo, hi) into `out`. This is the single block-execution
@@ -249,9 +250,31 @@ void run_block_range(const LaunchJob& job, std::uint64_t lo, std::uint64_t hi,
         static_cast<std::uint32_t>((flat_block / cfg.grid.x) % cfg.grid.y),
         static_cast<std::uint32_t>(flat_block / (static_cast<std::uint64_t>(cfg.grid.x) * cfg.grid.y))};
 
-    scratch.smem.reset(job.shared_bytes);
     out.counters.blocks += 1;
     out.counters.threads += tpb;
+
+    // NATIVE tier: untraced blocks may execute as one whole-block
+    // vectorized call (DESIGN.md §9). Sampled blocks never do — the
+    // coalescing model must see every individual address. The phase-count
+    // check enforces that native code settled SIMT accounting for exactly
+    // the phases the interpreter would have run, and the barrier charge is
+    // identical by construction (one per phase boundary).
+    if (job.native && !sampled) {
+      BlockCtx bctx(cfg.grid, cfg.block, block_idx, *job.gmem, out.counters,
+                    scratch.lane_ops.data());
+      if (job.kernel->run_block_native(bctx)) {
+        if (bctx.phases_charged() != job.info->num_phases)
+          throw SimError(
+              std::string("run_block_native(") +
+              std::string(job.kernel->name()) + "): charged " +
+              std::to_string(bctx.phases_charged()) + " phases, kernel declares " +
+              std::to_string(job.info->num_phases));
+        out.counters.barriers += job.info->num_phases - 1;
+        continue;
+      }
+    }
+
+    scratch.smem.reset(job.shared_bytes);
 
     for (std::uint32_t phase = 0; phase < job.info->num_phases; ++phase) {
       if (sampled) scratch.recorder.begin_phase(job.num_warps);
@@ -312,6 +335,15 @@ std::uint32_t resolve_host_threads(const ExecutorOptions& opts) {
   return hw == 0 ? 1u : std::min(hw, kMaxHostThreads);
 }
 
+bool resolve_native(const ExecutorOptions& opts) {
+  if (!opts.native) return false;
+  // Escape hatch mirroring GPAPRIORI_HOST_THREADS: read per launch so tests
+  // and operators can flip paths without rebuilding configs.
+  if (const char* env = std::getenv("GPAPRIORI_NO_NATIVE"))
+    if (*env != '\0' && std::string(env) != "0") return false;
+  return true;
+}
+
 KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
                        GlobalMemory& gmem, const DeviceProperties& props,
                        const ExecutorOptions& opts) {
@@ -344,8 +376,9 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
       (tpb + static_cast<std::uint32_t>(props.warp_size) - 1) /
       static_cast<std::uint32_t>(props.warp_size);
 
-  const LaunchJob job{&kernel, &cfg,  &info,       &gmem,
-                      &opts,   shared_bytes, tpb, num_warps};
+  const LaunchJob job{&kernel,      &cfg, &info,     &gmem,
+                      &opts,        shared_bytes,    tpb,
+                      num_warps,    resolve_native(opts)};
 
   // Shape-deterministic scheduling decision: tiny grids stay sequential.
   std::uint32_t workers = static_cast<std::uint32_t>(

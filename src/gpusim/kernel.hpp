@@ -12,6 +12,7 @@
 // kernel object, so run_phase is const and threads communicate exactly the
 // way CUDA threads do.
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <span>
@@ -308,6 +309,152 @@ struct KernelInfo {
   int regs_per_thread = 16;             ///< occupancy estimate
 };
 
+/// Whole-block execution context for the NATIVE tier (DESIGN.md §9).
+///
+/// On untraced blocks the executor may hand the entire block to
+/// Kernel::run_block_native instead of interpreting tpb × num_phases
+/// ThreadCtx calls. A native implementation computes the block's functional
+/// effect directly on raw device data (vectorized, word-tiled, whatever the
+/// host is good at) and then settles the books with the charge_* API under
+/// the same EQUALITY contract the zero-trace fast path established: every
+/// counter and every per-lane op count must equal what the interpreter
+/// would have produced, phase by phase. charge_phase/charge_split_phase
+/// must be called exactly once per declared phase (the executor verifies
+/// the count), which also yields the interpreter's barrier accounting.
+///
+/// Data accessors (view/load/store/atomic_fetch_add) deliberately charge
+/// NOTHING — native code reads k rows once but the interpreter charged one
+/// load per thread per word, so accounting is decoupled from access.
+class BlockCtx {
+ public:
+  BlockCtx(Dim3 grid_dim, Dim3 block_dim, Dim3 block_idx, GlobalMemory& gmem,
+           KernelCounters& counters, std::uint64_t* lane_scratch)
+      : grid_dim_(grid_dim),
+        block_dim_(block_dim),
+        block_idx_(block_idx),
+        gmem_(&gmem),
+        counters_(&counters),
+        lane_scratch_(lane_scratch) {
+    tpb_ = block_dim.x * block_dim.y * block_dim.z;
+    num_warps_ = (tpb_ + 31) / 32;
+  }
+
+  // --- geometry ---
+  [[nodiscard]] Dim3 grid_dim() const { return grid_dim_; }
+  [[nodiscard]] Dim3 block_dim() const { return block_dim_; }
+  [[nodiscard]] Dim3 block_idx() const { return block_idx_; }
+  [[nodiscard]] std::uint32_t num_threads() const { return tpb_; }
+  [[nodiscard]] std::uint64_t flat_block_idx() const {
+    return block_idx_.x + grid_dim_.x * (block_idx_.y + static_cast<std::uint64_t>(grid_dim_.y) * block_idx_.z);
+  }
+
+  // --- raw data access (no accounting; bounds/strict-checked by gmem) ---
+  template <typename T>
+  [[nodiscard]] std::span<const T> view(DevicePtr<T> p, std::uint64_t first,
+                                        std::uint64_t count) const {
+    return gmem_->view<T>(p.byte_of(first), count);
+  }
+  template <typename T>
+  [[nodiscard]] T load(DevicePtr<T> p, std::uint64_t i) const {
+    return gmem_->load<T>(p.byte_of(i));
+  }
+  template <typename T>
+  void store(DevicePtr<T> p, std::uint64_t i, T v) {
+    gmem_->store<T>(p.byte_of(i), v);
+  }
+  /// Real host atomic, like ThreadCtx::atomic_add_global minus the charges.
+  std::uint32_t atomic_fetch_add(DevicePtr<std::uint32_t> p, std::uint64_t i,
+                                 std::uint32_t v) {
+    return gmem_->atomic_fetch_add_u32(p.byte_of(i), v);
+  }
+
+  /// Zero-initialized per-lane scratch (num_threads entries) for kernels
+  /// whose per-lane op counts are data-dependent; feed it to charge_phase.
+  [[nodiscard]] std::span<std::uint64_t> lane_ops_scratch() {
+    std::fill_n(lane_scratch_, tpb_, std::uint64_t{0});
+    return {lane_scratch_, tpb_};
+  }
+
+  // --- bulk counter charges (block totals) ---
+  void charge_global_loads(std::uint64_t n, std::uint64_t bytes) {
+    counters_->global_loads += n;
+    counters_->global_load_bytes += bytes;
+  }
+  void charge_global_stores(std::uint64_t n, std::uint64_t bytes) {
+    counters_->global_stores += n;
+    counters_->global_store_bytes += bytes;
+  }
+  /// An atomic is a read-modify-write: 4 B each way, like the interpreter.
+  void charge_global_atomics(std::uint64_t n) {
+    counters_->global_atomics += n;
+    counters_->global_load_bytes += 4 * n;
+    counters_->global_store_bytes += 4 * n;
+  }
+  void charge_shared_loads(std::uint64_t n) { counters_->shared_loads += n; }
+  void charge_shared_stores(std::uint64_t n) { counters_->shared_stores += n; }
+
+  // --- SIMT issue accounting, one call per declared phase ---
+
+  /// Charges one phase from a per-lane op-count function `ops_of_tid`,
+  /// replicating the interpreter's per-warp max/min/sum aggregation
+  /// (warp issues max over lanes; divergence when max != min).
+  template <typename F>
+  void charge_phase(F&& ops_of_tid) {
+    for (std::uint32_t w = 0; w < num_warps_; ++w) {
+      const std::uint32_t wlo = w * 32, whi = std::min(wlo + 32, tpb_);
+      std::uint64_t mx = 0, mn = ~std::uint64_t{0}, sum = 0;
+      for (std::uint32_t t = wlo; t < whi; ++t) {
+        const std::uint64_t ops = ops_of_tid(t);
+        mx = std::max(mx, ops);
+        mn = std::min(mn, ops);
+        sum += ops;
+      }
+      counters_->warp_instructions += mx;
+      counters_->thread_instructions += sum;
+      counters_->warp_phases += 1;
+      if (mx != mn) counters_->divergent_warp_phases += 1;
+    }
+    ++phases_charged_;
+  }
+
+  /// O(warps) special case: lanes with tid < boundary issue `lo_ops`,
+  /// the rest issue `hi_ops` — the shape of preload / reduction / writeback
+  /// phases where only a prefix of the block works.
+  void charge_split_phase(std::uint32_t boundary, std::uint64_t lo_ops,
+                          std::uint64_t hi_ops) {
+    for (std::uint32_t w = 0; w < num_warps_; ++w) {
+      const std::uint32_t wlo = w * 32, whi = std::min(wlo + 32, tpb_);
+      const std::uint32_t n_lo =
+          boundary <= wlo ? 0
+                          : std::min(boundary, whi) - wlo;
+      const std::uint32_t n_hi = (whi - wlo) - n_lo;
+      const std::uint64_t mx = n_lo == 0   ? hi_ops
+                               : n_hi == 0 ? lo_ops
+                                           : std::max(lo_ops, hi_ops);
+      const std::uint64_t mn = n_lo == 0   ? hi_ops
+                               : n_hi == 0 ? lo_ops
+                                           : std::min(lo_ops, hi_ops);
+      counters_->warp_instructions += mx;
+      counters_->thread_instructions += n_lo * lo_ops + n_hi * hi_ops;
+      counters_->warp_phases += 1;
+      if (mx != mn) counters_->divergent_warp_phases += 1;
+    }
+    ++phases_charged_;
+  }
+
+  /// Phases settled so far; the executor demands == KernelInfo::num_phases.
+  [[nodiscard]] std::uint32_t phases_charged() const { return phases_charged_; }
+
+ private:
+  Dim3 grid_dim_, block_dim_, block_idx_;
+  GlobalMemory* gmem_;
+  KernelCounters* counters_;
+  std::uint64_t* lane_scratch_;
+  std::uint32_t tpb_ = 0;
+  std::uint32_t num_warps_ = 0;
+  std::uint32_t phases_charged_ = 0;
+};
+
 /// Base class for simulated kernels. Implementations keep no mutable state;
 /// everything flows through ThreadCtx and device memory.
 class Kernel {
@@ -316,6 +463,17 @@ class Kernel {
   [[nodiscard]] virtual std::string_view name() const = 0;
   [[nodiscard]] virtual KernelInfo info(const LaunchConfig& cfg) const = 0;
   virtual void run_phase(std::uint32_t phase, ThreadCtx& t) const = 0;
+
+  /// NATIVE tier (DESIGN.md §9): execute one whole untraced block without
+  /// the per-thread interpreter. Return false (the default) to decline —
+  /// the executor falls back to run_phase — or compute the block's full
+  /// functional effect, settle every phase through the BlockCtx charge API,
+  /// and return true. Only ever called on blocks the coalescing sampler
+  /// skips; sampled blocks always interpret, so traces stay exact.
+  virtual bool run_block_native(BlockCtx& b) const {
+    (void)b;
+    return false;
+  }
 };
 
 }  // namespace gpusim

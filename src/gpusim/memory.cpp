@@ -15,6 +15,8 @@ std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
 GlobalMemory::GlobalMemory(std::size_t capacity, bool strict)
     : data_(capacity), strict_(strict) {
   if (capacity == 0) throw SimError("GlobalMemory: zero capacity");
+  // Address 0 is the reserved null handle; everything past it starts free.
+  if (capacity > 1) gaps_.emplace(1, capacity - 1);
 }
 
 std::uint64_t GlobalMemory::alloc_bytes(std::size_t n, std::size_t alignment) {
@@ -22,33 +24,60 @@ std::uint64_t GlobalMemory::alloc_bytes(std::size_t n, std::size_t alignment) {
   if (alignment == 0 || (alignment & (alignment - 1)) != 0)
     throw SimError("GlobalMemory::alloc: alignment must be a power of two");
 
-  // First-fit over the gaps between live blocks. Address 0 is reserved as
-  // the null handle, so the scan starts at `alignment` past 0.
-  std::uint64_t cursor = align_up(1, alignment);
-  for (const auto& [start, size] : blocks_) {
-    if (cursor + n <= start) break;  // gap before this block fits
-    cursor = std::max<std::uint64_t>(cursor, align_up(start + size, alignment));
+  // First-fit over the free-gap map. Because every gap starts where a live
+  // block (or the reserved null byte) ends, aligning each gap's start gives
+  // byte-identical placement to the old scan over the allocation map —
+  // while touching only free regions, of which a nearly-full arena has few.
+  for (auto it = gaps_.begin(); it != gaps_.end(); ++it) {
+    const std::uint64_t start = it->first;
+    const std::uint64_t end = start + it->second;
+    const std::uint64_t a = align_up(start, alignment);
+    if (a + n > end) continue;
+    const std::uint64_t pad = a - start;
+    const std::uint64_t tail = end - (a + n);
+    if (tail > 0) gaps_.emplace(a + n, tail);
+    blocks_.emplace(a, n);
+    if (pad > 0)
+      it->second = pad;  // leading alignment padding stays free
+    else
+      gaps_.erase(it);
+    bytes_in_use_ += n;
+    peak_bytes_in_use_ = std::max(peak_bytes_in_use_, bytes_in_use_);
+    return a;
   }
-  if (cursor + n > data_.size()) {
-    // Thrown before any bookkeeping mutates: a failed alloc leaves the
-    // free list exactly as it was, so live allocations stay usable.
-    throw DeviceOomError(
-        "GlobalMemory::alloc: out of device memory (requested " +
-        std::to_string(n) + " B, in use " + std::to_string(bytes_in_use_) +
-        " / " + std::to_string(data_.size()) + " B)");
-  }
-  blocks_.emplace(cursor, n);
-  bytes_in_use_ += n;
-  peak_bytes_in_use_ = std::max(peak_bytes_in_use_, bytes_in_use_);
-  return cursor;
+  // Thrown before any bookkeeping mutates: a failed alloc leaves the
+  // free list exactly as it was, so live allocations stay usable.
+  throw DeviceOomError(
+      "GlobalMemory::alloc: out of device memory (requested " +
+      std::to_string(n) + " B, in use " + std::to_string(bytes_in_use_) +
+      " / " + std::to_string(data_.size()) + " B)");
 }
 
 void GlobalMemory::free_bytes(std::uint64_t addr) {
   auto it = blocks_.find(addr);
   if (it == blocks_.end())
     throw SimError("GlobalMemory::free: unknown or already-freed pointer");
-  bytes_in_use_ -= it->second;
+  const std::size_t size = it->second;
+  bytes_in_use_ -= size;
   blocks_.erase(it);
+
+  // Return the range to the gap map, coalescing with adjacent gaps so the
+  // map stays minimal (one entry per maximal free run).
+  std::uint64_t start = addr;
+  std::uint64_t end = addr + size;
+  auto next = gaps_.upper_bound(addr);
+  if (next != gaps_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      gaps_.erase(prev);
+    }
+  }
+  if (next != gaps_.end() && next->first == end) {
+    end += next->second;
+    gaps_.erase(next);
+  }
+  gaps_.emplace(start, end - start);
 }
 
 void GlobalMemory::write_bytes(std::uint64_t addr, const void* src, std::size_t n) {
@@ -81,6 +110,36 @@ void GlobalMemory::validate() const {
     throw SimError("GlobalMemory::validate: bytes_in_use " +
                    std::to_string(bytes_in_use_) +
                    " disagrees with block sum " + std::to_string(sum));
+
+  // Blocks and gaps must partition [1, capacity) exactly, with gaps
+  // coalesced (no zero-size gap, no two adjacent gaps).
+  std::uint64_t pos = 1;
+  auto bit = blocks_.begin();
+  auto git = gaps_.begin();
+  bool last_was_gap = false;
+  while (pos < data_.size()) {
+    if (git != gaps_.end() && git->first == pos) {
+      if (git->second == 0)
+        throw SimError("GlobalMemory::validate: zero-size gap at " +
+                       std::to_string(pos));
+      if (last_was_gap)
+        throw SimError("GlobalMemory::validate: uncoalesced adjacent gaps at " +
+                       std::to_string(pos));
+      pos += git->second;
+      ++git;
+      last_was_gap = true;
+    } else if (bit != blocks_.end() && bit->first == pos) {
+      pos += bit->second;
+      ++bit;
+      last_was_gap = false;
+    } else {
+      throw SimError("GlobalMemory::validate: byte " + std::to_string(pos) +
+                     " covered by neither a block nor a gap");
+    }
+  }
+  if (pos != data_.size() || git != gaps_.end() || bit != blocks_.end())
+    throw SimError(
+        "GlobalMemory::validate: blocks+gaps do not partition the arena");
 }
 
 void GlobalMemory::check(std::uint64_t addr, std::size_t n) const {

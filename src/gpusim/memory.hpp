@@ -129,10 +129,15 @@ class GlobalMemory {
   void check(std::uint64_t addr, std::size_t n) const;
 
   std::vector<std::byte> data_;
-  // Live allocations: start address -> size. Free regions are derived by
-  // first-fit scan between live blocks; with at most a few dozen live
-  // allocations during mining this is plenty fast and trivially correct.
+  // Live allocations: start address -> size.
   std::map<std::uint64_t, std::size_t> blocks_;
+  // Free regions: start address -> size, address-ordered and coalesced on
+  // free, so blocks_ and gaps_ together partition [1, capacity) exactly.
+  // alloc scans gaps (first-fit, placement-identical to scanning between
+  // live blocks) instead of the allocation map — candidate-heavy levels
+  // keep thousands of live blocks but only a handful of gaps, so the scan
+  // stops paying O(live blocks) per call. validate() checks the partition.
+  std::map<std::uint64_t, std::size_t> gaps_;
   std::size_t bytes_in_use_ = 0;
   std::size_t peak_bytes_in_use_ = 0;
   bool strict_ = false;
