@@ -40,7 +40,8 @@ void print(const Report& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::setup_trace(argc, argv);
   const double scale = bench::resolve_scale(0.5);
   const auto& prof = datagen::profile(datagen::DatasetId::kChess);
   const auto db = prof.generate(scale);
@@ -85,6 +86,7 @@ int main() {
 
   // --- bitset ---
   {
+    obs::ScopedSpan span(obs::SpanKind::kMineLevel, "ablation:bitset");
     auto d_bits = dev.alloc<std::uint32_t>(store.arena().size(), 64);
     dev.copy_to_device(d_bits, store.arena());
     gpapriori::SupportKernel::Args a;
@@ -104,6 +106,7 @@ int main() {
 
   // --- tidset ---
   {
+    obs::ScopedSpan span(obs::SpanKind::kMineLevel, "ablation:tidset");
     std::vector<std::uint32_t> tids, table;
     std::vector<std::uint32_t> start(n), len(n);
     for (std::uint32_t x = 0; x < n; ++x) {
@@ -134,6 +137,7 @@ int main() {
 
   // --- horizontal ---
   {
+    obs::ScopedSpan span(obs::SpanKind::kMineLevel, "ablation:horizontal");
     std::vector<std::uint32_t> items, offsets{0};
     for (std::size_t t = 0; t < pre.db.num_transactions(); ++t) {
       const auto tx = pre.db.transaction(t);

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,16 +29,27 @@
 #include "datagen/datagen.hpp"
 #include "fim/fim.hpp"
 #include "gpusim/executor.hpp"
+#include "obs/obs.hpp"
 
 namespace bench {
 
+/// Strict parse of GPAPRIORI_BENCH_SCALE (same discipline as
+/// resolve_host_threads in gpusim/executor.cpp): the whole value must be a
+/// float in (0, 1] or the literal "full". Trailing garbage ("0.5x") is
+/// rejected with a warning instead of silently truncating.
 inline double resolve_scale(double default_scale) {
   const char* env = std::getenv("GPAPRIORI_BENCH_SCALE");
-  if (!env) return default_scale;
-  const std::string s = env;
-  if (s == "full") return 1.0;
-  const double v = std::atof(env);
-  return (v > 0.0 && v <= 1.0) ? v : default_scale;
+  if (!env || *env == '\0') return default_scale;
+  if (std::strcmp(env, "full") == 0) return 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end != env && *end == '\0' && std::isfinite(v) && v > 0.0 && v <= 1.0)
+    return v;
+  std::fprintf(stderr,
+               "bench: ignoring GPAPRIORI_BENCH_SCALE='%s' (want a float in "
+               "(0, 1] or 'full'); using %g\n",
+               env, default_scale);
+  return default_scale;
 }
 
 /// Miners a given figure includes. The paper shows Goethals Apriori only in
@@ -55,13 +67,66 @@ struct FigureOptions {
 };
 
 /// Parses --repeat N from a bench binary's argv (ignores everything else).
+/// N must be a whole decimal integer >= 1; values with trailing garbage
+/// ("3abc") or out of range are rejected with a warning.
 inline int parse_repeat(int argc, char** argv, int fallback = 1) {
   for (int i = 1; i + 1 < argc; ++i)
     if (std::strcmp(argv[i], "--repeat") == 0) {
-      const int n = std::atoi(argv[i + 1]);
-      if (n >= 1) return n;
+      const char* arg = argv[i + 1];
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(arg, &end, 10);
+      if (end != arg && *end == '\0' && n >= 1 && n <= 1000)
+        return static_cast<int>(n);
+      std::fprintf(stderr,
+                   "bench: ignoring --repeat '%s' (want an integer in "
+                   "[1, 1000]); using %d\n",
+                   arg, fallback);
     }
   return fallback;
+}
+
+/// Parses --trace-out FILE from a bench binary's argv and, when present,
+/// enables the global TraceRecorder with that output path (run_figure
+/// flushes it when the sweep finishes; the atexit handler is the backstop).
+inline void setup_trace(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      obs::TraceRecorder::global().enable(argv[i + 1]);
+      return;
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders a double as a JSON number; NaN/inf (Borgelt skipped, zero-time
+/// runs) become null so the file always stays valid JSON.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
 }
 
 inline void print_dataset_header(const datagen::DatasetProfile& prof,
@@ -125,6 +190,13 @@ inline void run_figure(const char* figure_id, const char* stem,
   std::ofstream csv = open_csv("fig6_" + prof.name);
   std::ofstream json = open_json(stem);
 
+  // Aggregate counters for the whole sweep; the BENCH json carries them in
+  // a "metrics" block so regressions in work volume (words ANDed, bytes
+  // moved) are visible next to the timing numbers they explain.
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.reset();
+  metrics.enable();
+
   gpusim::ExecutorOptions eo;
   eo.host_threads = opts.gpu_config.host_threads;
   eo.native = opts.gpu_config.native;
@@ -133,16 +205,17 @@ inline void run_figure(const char* figure_id, const char* stem,
 
   if (json) {
     json << "{\n"
-         << "  \"figure\": \"" << figure_id << "\",\n"
-         << "  \"dataset\": \"" << prof.name << "\",\n"
-         << "  \"scale\": " << scale << ",\n"
-         << "  \"git_sha\": \"" << git_sha() << "\",\n"
+         << "  \"figure\": \"" << json_escape(figure_id) << "\",\n"
+         << "  \"dataset\": \"" << json_escape(prof.name) << "\",\n"
+         << "  \"scale\": " << json_number(scale) << ",\n"
+         << "  \"git_sha\": \"" << json_escape(git_sha()) << "\",\n"
          << "  \"host_threads\": " << host_threads << ",\n"
          << "  \"exec_path\": \"" << (native ? "native" : "interpreted")
          << "\",\n"
          << "  \"repeat\": " << opts.repeat << ",\n"
          << "  \"device\": \""
-         << gpusim::DeviceProperties::tesla_t10().name << "\",\n"
+         << json_escape(gpusim::DeviceProperties::tesla_t10().name)
+         << "\",\n"
          << "  \"rows\": [";
   }
   bool first_row = true;
@@ -207,13 +280,15 @@ inline void run_figure(const char* figure_id, const char* stem,
             << out.device_ms << ',' << out.total_ms() << ','
             << out.itemsets.size() << '\n';
       if (json) {
-        json << (first_row ? "\n" : ",\n") << "    {\"minsup\": " << sup
-             << ", \"miner\": \"" << name << "\", \"host_ms\": " << out.host_ms
-             << ", \"device_ms\": " << out.device_ms
-             << ", \"total_ms\": " << out.total_ms()
-             << ", \"wall_ms\": " << wall_ms
+        json << (first_row ? "\n" : ",\n")
+             << "    {\"minsup\": " << json_number(sup) << ", \"miner\": \""
+             << json_escape(name)
+             << "\", \"host_ms\": " << json_number(out.host_ms)
+             << ", \"device_ms\": " << json_number(out.device_ms)
+             << ", \"total_ms\": " << json_number(out.total_ms())
+             << ", \"wall_ms\": " << json_number(wall_ms)
              << ", \"itemsets\": " << out.itemsets.size()
-             << ", \"speedup_vs_borgelt\": " << speedup << "}";
+             << ", \"speedup_vs_borgelt\": " << json_number(speedup) << "}";
         first_row = false;
       }
     }
@@ -228,7 +303,11 @@ inline void run_figure(const char* figure_id, const char* stem,
       std::printf("         -> GPApriori vs CPU_TEST: %.2fx\n", cpu / gpu);
     std::printf("\n");
   }
-  if (json) json << "\n  ]\n}\n";
+  if (json)
+    json << "\n  ],\n  \"metrics\": " << metrics.to_json(2) << "\n}\n";
+  // Persist any trace the sweep produced now, while the output path is
+  // still known-good (the atexit flush would also catch it).
+  obs::TraceRecorder::global().flush();
 }
 
 }  // namespace bench

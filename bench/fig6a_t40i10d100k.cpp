@@ -8,6 +8,7 @@
 
 int main(int argc, char** argv) {
   bench::FigureOptions opts;
+  bench::setup_trace(argc, argv);
   opts.repeat = bench::parse_repeat(argc, argv);
   opts.include_goethals = true;
   opts.goethals_min_support = 0.015;

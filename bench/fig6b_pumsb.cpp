@@ -5,6 +5,7 @@
 
 int main(int argc, char** argv) {
   bench::FigureOptions opts;
+  bench::setup_trace(argc, argv);
   opts.repeat = bench::parse_repeat(argc, argv);
   bench::run_figure("Fig. 6(b)", "fig6b", datagen::DatasetId::kPumsb,
                     /*default_scale=*/0.2, opts);

@@ -7,6 +7,7 @@
 
 int main(int argc, char** argv) {
   bench::FigureOptions opts;
+  bench::setup_trace(argc, argv);
   opts.repeat = bench::parse_repeat(argc, argv);
   bench::run_figure("Fig. 6(c)", "fig6c", datagen::DatasetId::kChess,
                     /*default_scale=*/1.0, opts);

@@ -8,6 +8,7 @@
 
 int main(int argc, char** argv) {
   bench::FigureOptions opts;
+  bench::setup_trace(argc, argv);
   opts.repeat = bench::parse_repeat(argc, argv);
   bench::run_figure("Fig. 6(d)", "fig6d", datagen::DatasetId::kAccidents,
                     /*default_scale=*/0.1, opts);

@@ -28,6 +28,7 @@
 #include "baselines/baselines.hpp"
 #include "core/gpapriori_all.hpp"
 #include "fim/fim.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -51,9 +52,15 @@ int usage() {
       "N]\n"
       "                [--max-size K] [--rules CONF] [--closed | --maximal]\n"
       "                [--out FILE] [--fault-plan SPEC] [--host-threads N]\n"
-      "                [--no-native]\n"
+      "                [--no-native] [--trace-out FILE] [--metrics]\n"
       "  gpapriori_cli topk <file.dat> <K> [--algo NAME]\n"
       "  gpapriori_cli list-algos\n"
+      "\n"
+      "--trace-out FILE writes a Chrome trace_event JSON timeline of the run\n"
+      "(load in chrome://tracing or https://ui.perfetto.dev; the\n"
+      "GPAPRIORI_TRACE env var has the same effect). --metrics prints the\n"
+      "aggregated counter summary (kernel launches, bytes moved, words\n"
+      "ANDed, ...) to stderr after mining (env: GPAPRIORI_METRICS).\n"
       "\n"
       "--host-threads N runs independent simulated blocks on N host worker\n"
       "threads (0 = auto: GPAPRIORI_HOST_THREADS env var, else hardware\n"
@@ -111,6 +118,8 @@ struct Options {
   bool closed = false, maximal = false;
   std::string out_path;
   std::string fault_plan;
+  std::string trace_out;
+  bool metrics = false;
   std::uint32_t host_threads = 0;
   bool native = true;
 };
@@ -165,6 +174,12 @@ bool parse_flags(int argc, char** argv, int start, Options& o) {
       o.host_threads = static_cast<std::uint32_t>(n);
     } else if (a == "--no-native") {
       o.native = false;
+    } else if (a == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (!v) return false;
+      o.trace_out = v;
+    } else if (a == "--metrics") {
+      o.metrics = true;
     } else if (a == "--fault-plan") {
       const char* v = next("--fault-plan");
       if (!v) return false;
@@ -179,6 +194,30 @@ bool parse_flags(int argc, char** argv, int start, Options& o) {
   return true;
 }
 
+// Turns the observability flags into recorder state. The atexit handlers
+// installed by the env-var path are the flush backstop; CLI runs flush
+// explicitly after mining so a crash in output formatting cannot lose the
+// trace.
+void setup_observability(const Options& o) {
+  if (!o.trace_out.empty())
+    obs::TraceRecorder::global().enable(o.trace_out);
+  if (o.metrics) obs::MetricsRegistry::global().enable();
+}
+
+void finish_observability(const Options& o) {
+  if (!o.trace_out.empty()) {
+    if (obs::TraceRecorder::global().flush())
+      std::fprintf(stderr, "trace written to %s (%zu spans)\n",
+                   o.trace_out.c_str(),
+                   obs::TraceRecorder::global().span_count());
+    else
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   o.trace_out.c_str());
+  }
+  if (o.metrics)
+    std::fputs(obs::MetricsRegistry::global().summary().c_str(), stderr);
+}
+
 int cmd_mine(int argc, char** argv) {
   Options o;
   if (!parse_flags(argc, argv, 3, o)) return kExitUsage;
@@ -186,6 +225,7 @@ int cmd_mine(int argc, char** argv) {
     std::fprintf(stderr, "need --support R (relative) or --count N\n");
     return kExitUsage;
   }
+  setup_observability(o);
   gpapriori::Config cfg;
   cfg.host_threads = o.host_threads;
   cfg.native = o.native;
@@ -210,6 +250,7 @@ int cmd_mine(int argc, char** argv) {
   p.max_itemset_size = o.max_size;
 
   const auto result = miner->mine(db, p);
+  finish_observability(o);
   fim::ItemsetCollection sets = result.itemsets;
   const char* kind = "frequent";
   if (o.closed) {
@@ -267,9 +308,11 @@ int cmd_topk(int argc, char** argv) {
   if (!parse_flags(argc, argv, 4, o)) return kExitUsage;
   // Top-K uses the native rising-threshold algorithm (one level-wise pass,
   // safe on dense data); --algo is not consulted here.
+  setup_observability(o);
   const auto db = fim::read_fimi_file(argv[2]);
   const auto k = std::strtoul(argv[3], nullptr, 10);
   const auto r = gpapriori::mine_top_k_native(db, k, o.max_size);
+  finish_observability(o);
   std::fprintf(stderr,
                "top-%lu: %zu itemsets (effective min support %u, %zu levels)\n",
                k, r.itemsets.size(), r.effective_min_support,

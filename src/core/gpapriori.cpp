@@ -7,6 +7,7 @@
 #include "core/candidate_trie.hpp"
 #include "core/support_kernel.hpp"
 #include "fim/bitset_ops.hpp"
+#include "obs/obs.hpp"
 
 namespace gpapriori {
 namespace {
@@ -112,10 +113,21 @@ void mine_levels_on_device(FaultAwareDevice& fdev,
   for (std::size_t k = 2;; ++k) {
     if (params.max_itemset_size && k > params.max_itemset_size) break;
 
+    obs::ScopedSpan level_span(obs::SpanKind::kMineLevel, "mine-level");
+
     host.restart();
-    const std::size_t ncand = trie.extend();
+    std::size_t ncand = 0;
+    std::vector<std::uint32_t> flat;
+    {
+      obs::ScopedSpan cand_span(obs::SpanKind::kCandidateGen, "candidate-gen");
+      ncand = trie.extend();
+      if (ncand != 0) flat = trie.flatten_level(k);
+      if (cand_span.active()) {
+        cand_span.add_arg("k", static_cast<double>(k));
+        cand_span.add_arg("candidates", static_cast<double>(ncand));
+      }
+    }
     if (ncand == 0) break;
-    const std::vector<std::uint32_t> flat = trie.flatten_level(k);
     double level_host_ms = host.elapsed_ms();
 
     const double device_ns_before = device.ledger().total_ns();
@@ -172,6 +184,31 @@ void mine_levels_on_device(FaultAwareDevice& fdev,
     out.levels.push_back(
         {k, ncand, trie.level_size(k), level_host_ms, level_device_ms});
     out.host_ms += level_host_ms;
+
+    if (level_span.active()) {
+      level_span.add_arg("k", static_cast<double>(k));
+      level_span.add_arg("candidates", static_cast<double>(ncand));
+      level_span.add_arg("survivors",
+                         static_cast<double>(trie.level_size(k)));
+      level_span.add_arg("device_ms", level_device_ms);
+    }
+    auto& metrics = obs::MetricsRegistry::global();
+    if (metrics.enabled()) {
+      obs::LevelMetrics lm;
+      lm.candidates = ncand;
+      lm.survivors = trie.level_size(k);
+      // Complete-intersection arithmetic: every candidate ANDs k rows of
+      // words_per_row words and popcounts each intersection word, once per
+      // partition slice.
+      for (const auto& slice : slices) {
+        lm.words_anded += static_cast<std::uint64_t>(ncand) * k *
+                          slice.words_per_row();
+        lm.popc_ops +=
+            static_cast<std::uint64_t>(ncand) * slice.words_per_row();
+      }
+      metrics.record_level(k, lm);
+    }
+
     if (trie.level_size(k) == 0) break;
   }
 }
@@ -263,6 +300,9 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
       const std::vector<fim::BitsetStore> slices =
           build_slices(pre.db, n, chunk);
       report_.degraded_to = DegradationStep::kPartitioned;
+      obs::MetricsRegistry::global().add(obs::Counter::kLadderHops, 1);
+      obs::TraceRecorder::global().instant(obs::SpanKind::kLadderHop,
+                                           "degrade:static->partitioned");
       report_.push_event("degraded static -> partitioned streaming (" +
                          std::to_string(slices.size()) + " partitions, " +
                          std::to_string(budget) + " B bitset budget)");
@@ -282,6 +322,9 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
   // ---- Rung 3: CPU_TEST — same algorithm, no device. Always succeeds,
   // and produces the identical (itemset, support) set. ----
   report_.degraded_to = DegradationStep::kCpu;
+  obs::MetricsRegistry::global().add(obs::Counter::kLadderHops, 1);
+  obs::TraceRecorder::global().instant(obs::SpanKind::kLadderHop,
+                                       "degrade:->cpu-test");
   report_.push_event("degraded to CPU_TEST (device abandoned)");
   ledger_ = device.ledger();
   report_.device_faults = device.fault_stats();

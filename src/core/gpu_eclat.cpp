@@ -6,6 +6,7 @@
 #include "baselines/apriori_util.hpp"
 #include "core/eqclass.hpp"
 #include "fim/bitset_ops.hpp"
+#include "obs/obs.hpp"
 
 namespace gpapriori {
 namespace {
@@ -47,6 +48,8 @@ void dfs(const fim::Itemset& prefix,
     const std::size_t width = entries.size() - i - 1;
     if (width == 0) continue;
 
+    obs::ScopedSpan class_span(obs::SpanKind::kMineLevel, "eclat-class");
+
     // Batch: candidate c joins member i with member i+1+c.
     std::vector<std::uint32_t> pair_table(width * 2);
     for (std::size_t c = 0; c < width; ++c) {
@@ -85,6 +88,25 @@ void dfs(const fim::Itemset& prefix,
         next.push_back({entries[i + 1 + c].item,
                         static_cast<std::uint32_t>(c), supports[c]});
     }
+
+    if (class_span.active()) {
+      class_span.add_arg("k", static_cast<double>(found.size() + 1));
+      class_span.add_arg("candidates", static_cast<double>(width));
+      class_span.add_arg("survivors", static_cast<double>(next.size()));
+    }
+    auto& metrics = obs::MetricsRegistry::global();
+    if (metrics.enabled()) {
+      obs::LevelMetrics lm;
+      lm.candidates = width;
+      lm.survivors = next.size();
+      // Eclat joins are pairwise: each candidate ANDs 2 rows and
+      // popcounts each intersection word.
+      lm.words_anded = static_cast<std::uint64_t>(width) * 2 *
+                       ctx.words_per_row;
+      lm.popc_ops = static_cast<std::uint64_t>(width) * ctx.words_per_row;
+      metrics.record_level(found.size() + 1, lm);
+    }
+
     if (!next.empty()) dfs(found, d_out, next, ctx);
     ctx.device->free(d_out);
     ctx.device->free(d_sup);

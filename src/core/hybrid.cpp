@@ -7,6 +7,7 @@
 #include "core/candidate_trie.hpp"
 #include "core/support_kernel.hpp"
 #include "fim/bitset_ops.hpp"
+#include "obs/obs.hpp"
 
 namespace gpapriori {
 
@@ -63,10 +64,20 @@ miners::MiningOutput HybridApriori::mine(const fim::TransactionDb& db,
 
   for (std::size_t k = 2;; ++k) {
     if (params.max_itemset_size && k > params.max_itemset_size) break;
+    obs::ScopedSpan level_span(obs::SpanKind::kMineLevel, "hybrid-level");
     host.restart();
-    const std::size_t ncand = trie.extend();
+    std::size_t ncand = 0;
+    std::vector<std::uint32_t> flat;
+    {
+      obs::ScopedSpan cand_span(obs::SpanKind::kCandidateGen, "candidate-gen");
+      ncand = trie.extend();
+      if (ncand != 0) flat = trie.flatten_level(k);
+      if (cand_span.active()) {
+        cand_span.add_arg("k", static_cast<double>(k));
+        cand_span.add_arg("candidates", static_cast<double>(ncand));
+      }
+    }
     if (ncand == 0) break;
-    const std::vector<std::uint32_t> flat = trie.flatten_level(k);
     double level_host = host.elapsed_ms();
 
     // Balance: choose f so f*g == (1-f)*c given per-candidate costs g, c.
@@ -155,6 +166,30 @@ miners::MiningOutput HybridApriori::mine(const fim::TransactionDb& db,
         {k, ncand, trie.level_size(k), level_host, counted});
     out.host_ms += level_host;
     out.device_ms += counted;
+
+    if (level_span.active()) {
+      level_span.add_arg("k", static_cast<double>(k));
+      level_span.add_arg("candidates", static_cast<double>(ncand));
+      level_span.add_arg("survivors",
+                         static_cast<double>(trie.level_size(k)));
+      level_span.add_arg("gpu_fraction",
+                         ncand ? static_cast<double>(gpu_cands) /
+                                     static_cast<double>(ncand)
+                               : 0.0);
+    }
+    auto& metrics = obs::MetricsRegistry::global();
+    if (metrics.enabled()) {
+      obs::LevelMetrics lm;
+      lm.candidates = ncand;
+      lm.survivors = trie.level_size(k);
+      // Both shares perform the same k-way AND+popcount per candidate.
+      lm.words_anded =
+          static_cast<std::uint64_t>(ncand) * k * store.words_per_row();
+      lm.popc_ops =
+          static_cast<std::uint64_t>(ncand) * store.words_per_row();
+      metrics.record_level(k, lm);
+    }
+
     if (trie.level_size(k) == 0) break;
   }
 

@@ -7,6 +7,7 @@
 #include "core/candidate_trie.hpp"
 #include "core/support_kernel.hpp"
 #include "fim/bitset_ops.hpp"
+#include "obs/obs.hpp"
 
 namespace gpapriori {
 
@@ -99,10 +100,20 @@ miners::MiningOutput PartitionedGpApriori::mine(
 
   for (std::size_t k = 2;; ++k) {
     if (params.max_itemset_size && k > params.max_itemset_size) break;
+    obs::ScopedSpan level_span(obs::SpanKind::kMineLevel, "partitioned-level");
     host.restart();
-    const std::size_t ncand = trie.extend();
+    std::size_t ncand = 0;
+    std::vector<std::uint32_t> flat;
+    {
+      obs::ScopedSpan cand_span(obs::SpanKind::kCandidateGen, "candidate-gen");
+      ncand = trie.extend();
+      if (ncand != 0) flat = trie.flatten_level(k);
+      if (cand_span.active()) {
+        cand_span.add_arg("k", static_cast<double>(k));
+        cand_span.add_arg("candidates", static_cast<double>(ncand));
+      }
+    }
     if (ncand == 0) break;
-    const std::vector<std::uint32_t> flat = trie.flatten_level(k);
     double level_host = host.elapsed_ms();
 
     const double dev_before = device.ledger().total_ns();
@@ -156,6 +167,30 @@ miners::MiningOutput PartitionedGpApriori::mine(
     out.levels.push_back(
         {k, ncand, trie.level_size(k), level_host, level_device});
     out.host_ms += level_host;
+
+    if (level_span.active()) {
+      level_span.add_arg("k", static_cast<double>(k));
+      level_span.add_arg("candidates", static_cast<double>(ncand));
+      level_span.add_arg("survivors",
+                         static_cast<double>(trie.level_size(k)));
+      level_span.add_arg("partitions", static_cast<double>(slices.size()));
+      level_span.add_arg("device_ms", level_device);
+    }
+    auto& metrics = obs::MetricsRegistry::global();
+    if (metrics.enabled()) {
+      obs::LevelMetrics lm;
+      lm.candidates = ncand;
+      lm.survivors = trie.level_size(k);
+      // Every candidate is counted against every partition slice.
+      for (const auto& slice : slices) {
+        lm.words_anded += static_cast<std::uint64_t>(ncand) * k *
+                          slice.words_per_row();
+        lm.popc_ops +=
+            static_cast<std::uint64_t>(ncand) * slice.words_per_row();
+      }
+      metrics.record_level(k, lm);
+    }
+
     if (trie.level_size(k) == 0) break;
   }
 

@@ -58,12 +58,16 @@ void FaultAwareDevice::download_verified(std::span<std::uint32_t> dst,
         gpusim::Device::checksum_host_bytes(dst.data(), dst.size_bytes());
     if (expect == got) return;
     report_.corruption_detected += 1;
+    obs::MetricsRegistry::global().add(obs::Counter::kCorruptionDetected, 1);
     if (attempt >= policy_.max_retries)
       throw gpusim::TransferError(
           "D2H corruption persisted through " +
               std::to_string(policy_.max_retries) + " re-transfers",
           /*transient=*/false);
     report_.retransfers += 1;
+    obs::MetricsRegistry::global().add(obs::Counter::kRetransfers, 1);
+    obs::TraceRecorder::global().instant(obs::SpanKind::kFault,
+                                         "d2h-checksum-mismatch");
     report_.push_event("d2h checksum mismatch (" + std::to_string(dst.size()) +
                        " words); re-transferring");
   }

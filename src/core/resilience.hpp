@@ -125,6 +125,15 @@ class FaultAwareDevice {
         if (!e.retryable() || attempt >= policy_.max_retries) throw;
         report_.retries += 1;
         report_.backoff_ms += backoff;
+        obs::MetricsRegistry::global().add(obs::Counter::kRetries, 1);
+        {
+          auto& rec = obs::TraceRecorder::global();
+          if (rec.enabled()) {
+            const obs::SpanArg args[] = {
+                {"attempt", static_cast<double>(attempt + 1)}};
+            rec.instant(obs::SpanKind::kFault, what, args, 1);
+          }
+        }
         report_.push_event(std::string(what) + " retry " +
                            std::to_string(attempt + 1) + "/" +
                            std::to_string(policy_.max_retries) + " after: " +

@@ -38,37 +38,44 @@ TransactionDb read_fimi(std::istream& in, std::size_t max_line_bytes) {
   std::vector<Item> items;
   std::size_t lineno = 1;
   std::size_t line_bytes = 0;   // bytes seen on the current line
-  bool line_has_any = false;    // any byte seen since the line started
   std::uint64_t value = 0;
   bool in_token = false;
   std::size_t token_col = 0;    // 0-based column of the current token
+
+  // Finishes the current line: lines with at least one item become a
+  // transaction; blank / whitespace-only lines (including the bare '\r'
+  // left by a CRLF-terminated blank line) are skipped. The '\n' and EOF
+  // paths share this so a trailing newline never changes the result.
+  auto end_line = [&] {
+    if (in_token) items.push_back(static_cast<Item>(value));
+    if (!items.empty()) b.add(items);
+    items.clear();
+    value = 0;
+    in_token = false;
+  };
 
   std::streambuf* buf = in.rdbuf();
   for (int ch = buf->sbumpc();; ch = buf->sbumpc()) {
     if (ch == std::char_traits<char>::eof()) {
       in.setstate(std::ios::eofbit);
-      if (in_token) items.push_back(static_cast<Item>(value));
-      if (line_has_any) b.add(items);
+      end_line();
       break;
     }
     const char c = static_cast<char>(ch);
     if (c == '\n') {
-      if (in_token) items.push_back(static_cast<Item>(value));
-      b.add(items);
-      items.clear();
-      value = 0;
-      in_token = false;
+      end_line();
       ++lineno;
       line_bytes = 0;
-      line_has_any = false;
       continue;
     }
-    line_has_any = true;
     if (++line_bytes > max_line_bytes)
       throw IoError("FIMI parse error at line " + std::to_string(lineno) +
                     ": line exceeds " + std::to_string(max_line_bytes) +
                     " bytes");
     const std::size_t col = line_bytes - 1;
+    // '\r' is plain inter-token whitespace here, which makes CRLF line
+    // endings parse identically to LF: the '\r' ends any open token and
+    // the following '\n' ends the line.
     if (std::isspace(static_cast<unsigned char>(c)) != 0) {
       if (in_token) {
         items.push_back(static_cast<Item>(value));

@@ -24,11 +24,23 @@ class IoError : public std::runtime_error {
 /// adversarial input and raise IoError before host memory is exhausted.
 inline constexpr std::size_t kMaxFimiLineBytes = 1ull << 30;  // 1 GiB
 
-/// Parses FIMI text in one streaming pass. Blank lines become empty
-/// transactions. Anything that is not a non-negative integer — negative
-/// ids, item ids over INT32_MAX, embedded NULs, binary garbage — raises
-/// IoError with line/column context; lines longer than `max_line_bytes`
-/// raise IoError without ever being buffered.
+/// Parses FIMI text in one streaming pass.
+///
+/// Line semantics (chosen to match Borgelt's readers and the FIMI
+/// repository corpus):
+///   * Blank and whitespace-only lines are SKIPPED everywhere — interior,
+///     leading, or before EOF — never turned into empty transactions. The
+///     FIMI text format cannot represent an empty transaction (write_fimi
+///     emits a bare newline for one, which a re-read drops), so a
+///     round-trip preserves exactly the non-empty transactions.
+///   * CRLF ("\r\n") and LF line endings are both accepted; '\r' acts as
+///     inter-token whitespace.
+///   * A final line without a trailing newline is parsed like any other.
+///
+/// Anything that is not a non-negative integer — negative ids, item ids
+/// over INT32_MAX, embedded NULs, binary garbage, digits glued to letters
+/// ("3abc") — raises IoError with line/column context; lines longer than
+/// `max_line_bytes` raise IoError without ever being buffered.
 [[nodiscard]] TransactionDb read_fimi(
     std::istream& in, std::size_t max_line_bytes = kMaxFimiLineBytes);
 [[nodiscard]] TransactionDb read_fimi_file(const std::string& path);

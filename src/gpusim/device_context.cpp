@@ -13,11 +13,18 @@ Device::Device(DeviceProperties props, DeviceOptions opts)
 
 KernelStats Device::launch_async(const Kernel& kernel,
                                  const LaunchConfig& cfg, StreamId stream) {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, kernel.name());
   injector_.on_launch(std::string(kernel.name()));
   KernelStats stats = run_kernel(kernel, cfg, mem_, props_, opts_.executor);
   stats.timing = estimate_kernel_time(stats, props_);
   timeline_.schedule_kernel(stream, stats.timing.total_ns);
   ledger_.launches += 1;
+  if (span.active()) {
+    span.add_arg("blocks", static_cast<double>(cfg.num_blocks()));
+    span.add_arg("tpb", static_cast<double>(cfg.threads_per_block()));
+    span.add_arg("sim_ns", stats.timing.total_ns);
+    span.add_arg("stream", static_cast<double>(stream));
+  }
   if (opts_.record_launches) history_.push_back(stats);
   return stats;
 }
@@ -31,11 +38,17 @@ double Device::synchronize() {
 }
 
 KernelStats Device::launch(const Kernel& kernel, const LaunchConfig& cfg) {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, kernel.name());
   injector_.on_launch(std::string(kernel.name()));
   KernelStats stats = run_kernel(kernel, cfg, mem_, props_, opts_.executor);
   stats.timing = estimate_kernel_time(stats, props_);
   ledger_.kernel_ns += stats.timing.total_ns;
   ledger_.launches += 1;
+  if (span.active()) {
+    span.add_arg("blocks", static_cast<double>(cfg.num_blocks()));
+    span.add_arg("tpb", static_cast<double>(cfg.threads_per_block()));
+    span.add_arg("sim_ns", stats.timing.total_ns);
+  }
   if (opts_.record_launches) history_.push_back(stats);
   return stats;
 }

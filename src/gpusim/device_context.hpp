@@ -19,6 +19,7 @@
 #include "gpusim/stats.hpp"
 #include "gpusim/stream.hpp"
 #include "gpusim/timing.hpp"
+#include "obs/obs.hpp"
 
 namespace gpusim {
 
@@ -66,7 +67,9 @@ class Device {
   template <typename T>
   DevicePtr<T> alloc(std::size_t count, std::size_t alignment = alignof(T)) {
     injector_.on_alloc(count * sizeof(T));
-    return mem_.alloc<T>(count, alignment);
+    auto p = mem_.alloc<T>(count, alignment);
+    obs::MetricsRegistry::global().add(obs::Counter::kDeviceAllocs, 1);
+    return p;
   }
   template <typename T>
   void free(DevicePtr<T> p) {
@@ -78,10 +81,14 @@ class Device {
   /// destination is untouched in that case.
   template <typename T>
   void copy_to_device(DevicePtr<T> dst, std::span<const T> src) {
+    obs::ScopedSpan span(obs::SpanKind::kH2D, "h2d");
     injector_.on_h2d(src.size_bytes());
     mem_.write_bytes(dst.addr, src.data(), src.size_bytes());
-    ledger_.h2d_ns += estimate_transfer_ns(src.size_bytes(), props_);
+    const double sim_ns = estimate_transfer_ns(src.size_bytes(), props_);
+    ledger_.h2d_ns += sim_ns;
     ledger_.h2d_transfers += 1;
+    record_transfer_obs(span, obs::Counter::kH2DTransfers,
+                        obs::Counter::kH2DBytes, src.size_bytes(), sim_ns);
   }
 
   /// Synchronous device->host copy; charges PCIe time to the ledger.
@@ -90,11 +97,15 @@ class Device {
   /// detectable against checksum() of the source range.
   template <typename T>
   void copy_to_host(std::span<T> dst, DevicePtr<T> src) {
+    obs::ScopedSpan span(obs::SpanKind::kD2H, "d2h");
     injector_.on_d2h(dst.size_bytes());
     mem_.read_bytes(src.addr, dst.data(), dst.size_bytes());
     injector_.corrupt_d2h(dst.data(), dst.size_bytes());
-    ledger_.d2h_ns += estimate_transfer_ns(dst.size_bytes(), props_);
+    const double sim_ns = estimate_transfer_ns(dst.size_bytes(), props_);
+    ledger_.d2h_ns += sim_ns;
     ledger_.d2h_transfers += 1;
+    record_transfer_obs(span, obs::Counter::kD2HTransfers,
+                        obs::Counter::kD2HBytes, dst.size_bytes(), sim_ns);
   }
 
   /// FNV-1a checksum of a device range, computed device-side (exempt from
@@ -129,22 +140,30 @@ class Device {
   template <typename T>
   void copy_to_device_async(DevicePtr<T> dst, std::span<const T> src,
                             StreamId stream) {
+    obs::ScopedSpan span(obs::SpanKind::kH2D, "h2d-async");
     injector_.on_h2d(src.size_bytes());
     mem_.write_bytes(dst.addr, src.data(), src.size_bytes());
-    timeline_.schedule_copy(stream,
-                            estimate_transfer_ns(src.size_bytes(), props_));
+    const double sim_ns = estimate_transfer_ns(src.size_bytes(), props_);
+    timeline_.schedule_copy(stream, sim_ns);
     ledger_.h2d_transfers += 1;
+    record_transfer_obs(span, obs::Counter::kH2DTransfers,
+                        obs::Counter::kH2DBytes, src.size_bytes(), sim_ns,
+                        stream);
   }
 
   template <typename T>
   void copy_to_host_async(std::span<T> dst, DevicePtr<T> src,
                           StreamId stream) {
+    obs::ScopedSpan span(obs::SpanKind::kD2H, "d2h-async");
     injector_.on_d2h(dst.size_bytes());
     mem_.read_bytes(src.addr, dst.data(), dst.size_bytes());
     injector_.corrupt_d2h(dst.data(), dst.size_bytes());
-    timeline_.schedule_copy(stream,
-                            estimate_transfer_ns(dst.size_bytes(), props_));
+    const double sim_ns = estimate_transfer_ns(dst.size_bytes(), props_);
+    timeline_.schedule_copy(stream, sim_ns);
     ledger_.d2h_transfers += 1;
+    record_transfer_obs(span, obs::Counter::kD2HTransfers,
+                        obs::Counter::kD2HBytes, dst.size_bytes(), sim_ns,
+                        stream);
   }
 
   /// Executes the kernel now, schedules its modeled duration on `stream`.
@@ -179,6 +198,26 @@ class Device {
   }
 
  private:
+  /// Observability tail shared by the four copy paths: attach bytes/sim_ns
+  /// to the (already-open) transfer span and bump the transfer counters.
+  /// Near-no-op when tracing and metrics are both disabled.
+  static void record_transfer_obs(obs::ScopedSpan& span,
+                                  obs::Counter transfers, obs::Counter bytes,
+                                  std::size_t nbytes, double sim_ns,
+                                  StreamId stream = ~StreamId{0}) {
+    if (span.active()) {
+      span.add_arg("bytes", static_cast<double>(nbytes));
+      span.add_arg("sim_ns", sim_ns);
+      if (stream != ~StreamId{0})
+        span.add_arg("stream", static_cast<double>(stream));
+    }
+    auto& metrics = obs::MetricsRegistry::global();
+    if (metrics.enabled()) {
+      metrics.add(transfers, 1);
+      metrics.add(bytes, nbytes);
+    }
+  }
+
   [[nodiscard]] std::uint64_t checksum_device_bytes(std::uint64_t addr,
                                                     std::size_t n) const;
 

@@ -14,6 +14,7 @@
 
 #include "gpusim/error.hpp"
 #include "gpusim/occupancy.hpp"
+#include "obs/obs.hpp"
 
 namespace gpusim {
 
@@ -198,6 +199,7 @@ struct ChunkStats {
   KernelCounters counters;
   MemoryAccessStats load_coalescing;
   MemoryAccessStats store_coalescing;
+  std::uint64_t native_blocks = 0;  ///< observability only, not in KernelStats
   std::uint64_t sampled_blocks = 0;
   std::uint64_t shared_requests = 0;
   std::uint64_t shared_serialization = 0;
@@ -270,6 +272,7 @@ void run_block_range(const LaunchJob& job, std::uint64_t lo, std::uint64_t hi,
               std::to_string(bctx.phases_charged()) + " phases, kernel declares " +
               std::to_string(job.info->num_phases));
         out.counters.barriers += job.info->num_phases - 1;
+        out.native_blocks += 1;
         continue;
       }
     }
@@ -409,7 +412,14 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
       if (c >= num_chunks || failed.load(std::memory_order_relaxed)) break;
       try {
         const auto [lo, hi] = chunk_range(c);
+        obs::ScopedSpan span(obs::SpanKind::kDispatch, "block-chunk");
         run_block_range(job, lo, hi, chunks[c], scratch);
+        if (span.active()) {
+          span.add_arg("first_block", static_cast<double>(lo));
+          span.add_arg("num_blocks", static_cast<double>(hi - lo));
+          span.add_arg("native_blocks",
+                       static_cast<double>(chunks[c].native_blocks));
+        }
       } catch (...) {
         errors[c] = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
@@ -429,6 +439,7 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
   // Deterministic merge, in block order. All fields are integer sums, so
   // the result is byte-identical to sequential execution regardless of
   // which worker ran which chunk.
+  std::uint64_t native_blocks = 0;
   for (const ChunkStats& c : chunks) {
     stats.counters.merge(c.counters);
     stats.gmem_load_coalescing.merge(c.load_coalescing);
@@ -437,6 +448,21 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
     stats.shared_requests_sampled += c.shared_requests;
     stats.shared_serialization_sampled += c.shared_serialization;
     stats.shared_race_hazards += c.shared_race_hazards;
+    native_blocks += c.native_blocks;
+  }
+
+  auto& metrics = obs::MetricsRegistry::global();
+  if (metrics.enabled()) {
+    using obs::Counter;
+    metrics.add(Counter::kKernelLaunches, 1);
+    metrics.add(Counter::kNativeBlocks, native_blocks);
+    metrics.add(Counter::kInterpretedBlocks,
+                stats.counters.blocks - native_blocks);
+    metrics.add(Counter::kWarpInstructions, stats.counters.warp_instructions);
+    metrics.add(Counter::kThreadInstructions,
+                stats.counters.thread_instructions);
+    metrics.add(Counter::kGlobalLoadBytes, stats.counters.global_load_bytes);
+    metrics.add(Counter::kGlobalStoreBytes, stats.counters.global_store_bytes);
   }
   return stats;
 }

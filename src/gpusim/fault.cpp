@@ -2,8 +2,21 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace gpusim {
 namespace {
+
+// Reports one injected fault to the observability layer: an instant trace
+// event plus the kFaultsInjected counter. Never alters injection behavior.
+void note_injected(const char* what, std::uint64_t index) {
+  obs::MetricsRegistry::global().add(obs::Counter::kFaultsInjected, 1);
+  auto& rec = obs::TraceRecorder::global();
+  if (rec.enabled()) {
+    const obs::SpanArg args[] = {{"op_index", static_cast<double>(index)}};
+    rec.instant(obs::SpanKind::kFault, what, args, 1);
+  }
+}
 
 // splitmix64: the standard counter-based mixer; good enough to decorrelate
 // per-operation fault draws and cheap enough to run on every device call.
@@ -170,6 +183,7 @@ void FaultInjector::on_alloc(std::size_t bytes) {
   const std::uint64_t i = ++stats_.allocs;
   if (match(FaultOp::kAlloc, i) != nullptr) {
     stats_.injected_oom += 1;
+    note_injected("inject-oom", i);
     throw DeviceOomError("injected device OOM at alloc #" +
                          std::to_string(i) + " (" + std::to_string(bytes) +
                          " B requested)");
@@ -183,6 +197,7 @@ void FaultInjector::on_h2d(std::size_t bytes) {
                     draw(FaultOp::kH2D, i, 0) < plan_.p_transfer);
   if (hit) {
     stats_.injected_transfer_fail += 1;
+    note_injected("inject-h2d-fail", i);
     throw TransferError("injected transient H2D failure at transfer #" +
                             std::to_string(i) + " (" +
                             std::to_string(bytes) + " B)",
@@ -198,6 +213,7 @@ void FaultInjector::on_d2h(std::size_t bytes) {
                      draw(FaultOp::kD2H, i, 0) < plan_.p_transfer);
   if (fail) {
     stats_.injected_transfer_fail += 1;
+    note_injected("inject-d2h-fail", i);
     throw TransferError("injected transient D2H failure at transfer #" +
                             std::to_string(i) + " (" +
                             std::to_string(bytes) + " B)",
@@ -215,6 +231,7 @@ void FaultInjector::corrupt_d2h(void* data, std::size_t n) {
                     draw(FaultOp::kD2H, i, 1) < plan_.p_corrupt);
   if (!hit) return;
   stats_.injected_corruption += 1;
+  note_injected("inject-d2h-corrupt", i);
   const std::uint64_t h = mix64(plan_.seed ^ mix64(i ^ 0xC0FFEEull));
   auto* bytes = static_cast<unsigned char*>(data);
   bytes[h % n] ^= static_cast<unsigned char>(1u << ((h >> 32) % 8));
@@ -236,12 +253,14 @@ void FaultInjector::on_launch(const std::string& kernel_name) {
   }
   if (kind == FaultKind::kTimeout) {
     stats_.injected_timeout += 1;
+    note_injected("inject-launch-timeout", i);
     throw LaunchError("injected launch timeout at launch #" +
                           std::to_string(i) + " (kernel '" + kernel_name +
                           "')",
                       /*transient=*/true);
   }
   stats_.injected_ecc += 1;
+  note_injected("inject-launch-ecc", i);
   throw LaunchError("injected transient ECC error at launch #" +
                         std::to_string(i) + " (kernel '" + kernel_name + "')",
                     /*transient=*/true);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace gpusim {
 namespace {
 
@@ -43,6 +45,8 @@ std::uint64_t GlobalMemory::alloc_bytes(std::size_t n, std::size_t alignment) {
       gaps_.erase(it);
     bytes_in_use_ += n;
     peak_bytes_in_use_ = std::max(peak_bytes_in_use_, bytes_in_use_);
+    obs::MetricsRegistry::global().record_max(
+        obs::Counter::kDeviceMemPeakBytes, peak_bytes_in_use_);
     return a;
   }
   // Thrown before any bookkeeping mutates: a failed alloc leaves the

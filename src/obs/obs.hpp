@@ -1,0 +1,4 @@
+#pragma once
+// Umbrella header for the observability layer: tracing + metrics.
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

@@ -1,0 +1,300 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace obs {
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<std::uint32_t> next_thread_id{0};
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no NaN/inf literal
+    out += "null";
+    return;
+  }
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+const char* to_category(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kMineLevel: return "mine";
+    case SpanKind::kCandidateGen: return "candgen";
+    case SpanKind::kKernel: return "kernel";
+    case SpanKind::kH2D: return "h2d";
+    case SpanKind::kD2H: return "d2h";
+    case SpanKind::kLadderHop: return "ladder";
+    case SpanKind::kDispatch: return "dispatch";
+    case SpanKind::kFault: return "fault";
+    case SpanKind::kOther: return "other";
+  }
+  return "other";
+}
+
+std::uint32_t trace_thread_id() {
+  thread_local std::uint32_t id =
+      next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TraceRecorder::TraceRecorder() : epoch_ns_(steady_now_ns()) {
+  spans_.reserve(1024);
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* rec = [] {
+    auto* r = new TraceRecorder();  // leaked: outlives static destructors
+    if (const char* env = std::getenv("GPAPRIORI_TRACE");
+        env != nullptr && *env != '\0') {
+      r->enable(env);
+    }
+    std::atexit([] { TraceRecorder::global().flush(); });
+    return r;
+  }();
+  return *rec;
+}
+
+void TraceRecorder::enable() { enabled_.store(true, std::memory_order_relaxed); }
+
+void TraceRecorder::enable(std::string path) {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    path_ = std::move(path);
+  }
+  enable();
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(m_);
+  spans_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return steady_now_ns() - epoch_ns_;
+}
+
+void TraceRecorder::push(Span&& s) {
+  std::lock_guard<std::mutex> lock(m_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(s));
+}
+
+void TraceRecorder::record(SpanKind kind, std::string_view name,
+                           std::uint64_t begin_ns, std::uint64_t end_ns,
+                           const SpanArg* args, std::size_t nargs) {
+  if (!enabled()) return;
+  Span s;
+  s.begin_ns = begin_ns;
+  s.end_ns = std::max(begin_ns, end_ns);
+  s.tid = trace_thread_id();
+  s.kind = kind;
+  s.name.assign(name);
+  s.nargs = std::min(nargs, kMaxArgs);
+  for (std::size_t i = 0; i < s.nargs; ++i) s.args[i] = args[i];
+  push(std::move(s));
+}
+
+void TraceRecorder::instant(SpanKind kind, std::string_view name,
+                            const SpanArg* args, std::size_t nargs) {
+  if (!enabled()) return;
+  Span s;
+  s.begin_ns = s.end_ns = now_ns();
+  s.tid = trace_thread_id();
+  s.kind = kind;
+  s.is_instant = true;
+  s.name.assign(name);
+  s.nargs = std::min(nargs, kMaxArgs);
+  for (std::size_t i = 0; i < s.nargs; ++i) s.args[i] = args[i];
+  push(std::move(s));
+}
+
+std::size_t TraceRecorder::span_count() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return spans_.size();
+}
+
+std::size_t TraceRecorder::dropped_count() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::string TraceRecorder::export_chrome_json() const {
+  std::vector<const Span*> by_tid_pool;
+  std::uint32_t max_tid = 0;
+  std::vector<Span> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    snapshot = spans_;
+  }
+  for (const Span& s : snapshot) max_tid = std::max(max_tid, s.tid);
+
+  std::string out;
+  out.reserve(snapshot.size() * 96 + 512);
+  out += "{\n\"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&](const Span& s, char phase, std::uint64_t ts_ns) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\": \"";
+    append_json_escaped(out, s.name);
+    out += "\", \"cat\": \"";
+    out += to_category(s.kind);
+    out += "\", \"ph\": \"";
+    out += phase;
+    out += "\", \"pid\": 1, \"tid\": ";
+    append_number(out, static_cast<double>(s.tid));
+    out += ", \"ts\": ";
+    // Chrome expects microseconds; keep sub-us precision as a fraction.
+    char ts[40];
+    std::snprintf(ts, sizeof(ts), "%llu.%03llu",
+                  static_cast<unsigned long long>(ts_ns / 1000),
+                  static_cast<unsigned long long>(ts_ns % 1000));
+    out += ts;
+    if (phase == 'i') out += ", \"s\": \"t\"";
+    if ((phase == 'B' || phase == 'i') && s.nargs > 0) {
+      out += ", \"args\": {";
+      for (std::size_t i = 0; i < s.nargs; ++i) {
+        if (i > 0) out += ", ";
+        out += '"';
+        append_json_escaped(out, s.args[i].key != nullptr ? s.args[i].key : "");
+        out += "\": ";
+        append_number(out, s.args[i].value);
+      }
+      out += '}';
+    }
+    out += '}';
+  };
+
+  // Metadata: name the process and each thread so the viewer shows
+  // meaningful lanes.
+  auto emit_meta = [&](const char* name, const char* value_key,
+                       const char* value, std::uint32_t tid) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\": \"";
+    out += name;
+    out += "\", \"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    append_number(out, static_cast<double>(tid));
+    out += ", \"args\": {\"";
+    out += value_key;
+    out += "\": \"";
+    append_json_escaped(out, value);
+    out += "\"}}";
+  };
+  emit_meta("process_name", "name", "gpapriori", 0);
+  if (!snapshot.empty()) {
+    for (std::uint32_t t = 0; t <= max_tid; ++t) {
+      std::string label = (t == 0) ? "main" : ("worker-" + std::to_string(t));
+      emit_meta("thread_name", "name", label.c_str(), t);
+    }
+  }
+
+  // Per tid: sort spans outermost-first and walk with a stack so the
+  // emitted B/E stream is balanced and properly nested even when
+  // timestamps tie (RAII guarantees nesting within one thread).
+  std::vector<std::size_t> order(snapshot.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const Span& x = snapshot[a];
+                     const Span& y = snapshot[b];
+                     if (x.tid != y.tid) return x.tid < y.tid;
+                     if (x.begin_ns != y.begin_ns) return x.begin_ns < y.begin_ns;
+                     return x.end_ns > y.end_ns;  // outer span first
+                   });
+  std::vector<const Span*> stack;
+  std::uint32_t cur_tid = 0;
+  auto drain = [&](std::uint64_t upto_ns, bool all) {
+    while (!stack.empty() &&
+           (all || stack.back()->end_ns <= upto_ns)) {
+      emit(*stack.back(), 'E', stack.back()->end_ns);
+      stack.pop_back();
+    }
+  };
+  for (std::size_t idx : order) {
+    const Span& s = snapshot[idx];
+    if (!stack.empty() && s.tid != cur_tid) drain(0, true);
+    cur_tid = s.tid;
+    if (s.is_instant) {
+      drain(s.begin_ns, false);
+      emit(s, 'i', s.begin_ns);
+      continue;
+    }
+    drain(s.begin_ns, false);
+    emit(s, 'B', s.begin_ns);
+    stack.push_back(&s);
+  }
+  drain(0, true);
+
+  out += "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"dropped_events\": ";
+  append_number(out, static_cast<double>(dropped_count()));
+  out += "}\n}\n";
+  return out;
+}
+
+bool TraceRecorder::flush() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    path = path_;
+  }
+  if (path.empty()) return false;
+  return write(path);
+}
+
+bool TraceRecorder::write(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  const std::string json = export_chrome_json();
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace obs

@@ -1,0 +1,181 @@
+#pragma once
+// Execution tracing (DESIGN.md §10).
+//
+// TraceRecorder captures typed, thread-attributed spans of real wall time —
+// mine level-k, host candidate generation, kernel launches, H2D/D2H
+// transfers, fallback-ladder hops, native-vs-interpreted block dispatch —
+// and exports them as Chrome `trace_event` JSON (load in chrome://tracing
+// or https://ui.perfetto.dev). Spans carry numeric args; device-side spans
+// carry the simulated duration (`sim_ns`) so a trace reconciles with the
+// TimeLedger's device_ms even though the span itself measures host time.
+//
+// The recorder is OFF by default and every hook is a near-no-op then: one
+// relaxed atomic load, no allocation, no lock. Tracing therefore threads
+// through the hot paths (executor worker chunks, every transfer) without
+// disturbing the native-tier speedups or the counter-equality contracts
+// (DESIGN.md §8/§9) — tracing changes what is *recorded*, never what is
+// *computed*.
+//
+// Enabling: programmatically via enable()/enable(path) (CLI --trace-out,
+// bench --trace-out), or by setting GPAPRIORI_TRACE=<path> in the
+// environment — the global recorder then starts enabled and flushes the
+// file at process exit.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obs {
+
+/// Typed span taxonomy. The category string (to_category) becomes the
+/// Chrome trace "cat" field, so traces can be filtered per subsystem.
+enum class SpanKind : std::uint8_t {
+  kMineLevel,     ///< one Apriori/Eclat level (or DFS class) of a driver
+  kCandidateGen,  ///< host-side candidate generation (trie extend/flatten)
+  kKernel,        ///< one simulated kernel launch
+  kH2D,           ///< host->device transfer
+  kD2H,           ///< device->host transfer
+  kLadderHop,     ///< degradation-ladder transition (instant event)
+  kDispatch,      ///< executor worker chunk (native vs interpreted blocks)
+  kFault,         ///< injected fault / retry / corruption event
+  kOther,
+};
+
+[[nodiscard]] const char* to_category(SpanKind kind);
+
+/// One numeric span argument. Keys must be string literals (or otherwise
+/// outlive the recorder) — they are stored unowned.
+struct SpanArg {
+  const char* key = nullptr;
+  double value = 0;
+};
+
+/// Small per-thread integer used as the Chrome trace tid: assigned on a
+/// thread's first recorded event, dense from 0 (0 is normally the main
+/// thread; executor pool workers get 1, 2, ...).
+[[nodiscard]] std::uint32_t trace_thread_id();
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kMaxArgs = 6;
+  /// Span-buffer cap: fault storms or runaway loops stop recording (and
+  /// count drops) instead of exhausting host memory. Generous — a full
+  /// fig6a sweep records a few hundred thousand events.
+  static constexpr std::size_t kMaxSpans = 1u << 22;
+
+  /// The process-wide recorder every hook reports to. First use reads
+  /// GPAPRIORI_TRACE: when set (non-empty), the recorder starts enabled
+  /// with that output path and flushes at process exit.
+  static TraceRecorder& global();
+
+  /// Starts capturing. Timestamps are relative to the first enable().
+  void enable();
+  /// Starts capturing and remembers `path` for flush().
+  void enable(std::string path);
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all recorded spans (output path and enabled state survive).
+  void clear();
+
+  /// Wall-clock nanoseconds since the recorder's epoch (steady clock).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Records one completed span with explicit begin/end timestamps (the
+  /// ScopedSpan RAII wrapper is the usual entry point). No-op when
+  /// disabled. Thread-safe.
+  void record(SpanKind kind, std::string_view name, std::uint64_t begin_ns,
+              std::uint64_t end_ns, const SpanArg* args = nullptr,
+              std::size_t nargs = 0);
+
+  /// Records an instant event (Chrome "i" phase, thread scope).
+  void instant(SpanKind kind, std::string_view name,
+               const SpanArg* args = nullptr, std::size_t nargs = 0);
+
+  [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::size_t dropped_count() const;
+  [[nodiscard]] const std::string& output_path() const { return path_; }
+
+  /// Serializes every recorded event as Chrome trace_event JSON: one event
+  /// per line, B/E pairs balanced and properly nested per tid, instants as
+  /// "i", plus process/thread-name metadata ("M") events.
+  [[nodiscard]] std::string export_chrome_json() const;
+
+  /// Writes export_chrome_json() to `path` (or the stored output path).
+  /// Returns false when no path is set or the write fails. Safe to call
+  /// repeatedly; also invoked automatically at process exit when the
+  /// recorder was enabled via GPAPRIORI_TRACE or enable(path).
+  bool flush();
+  bool write(const std::string& path) const;
+
+ private:
+  TraceRecorder();
+
+  struct Span {
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::uint32_t tid = 0;
+    SpanKind kind = SpanKind::kOther;
+    bool is_instant = false;
+    std::string name;
+    std::array<SpanArg, kMaxArgs> args{};
+    std::size_t nargs = 0;
+  };
+
+  void push(Span&& s);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::uint64_t epoch_ns_ = 0;  ///< steady_clock origin, set at construction
+  mutable std::mutex m_;
+  std::vector<Span> spans_;
+  std::string path_;
+};
+
+/// RAII span: captures the begin timestamp at construction when the global
+/// recorder is enabled, records at destruction. When tracing is off the
+/// constructor is one relaxed atomic load and the destructor a branch.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanKind kind, std::string_view name)
+      : kind_(kind) {
+    TraceRecorder& r = TraceRecorder::global();
+    if (!r.enabled()) return;
+    rec_ = &r;
+    name_ = name;
+    begin_ns_ = r.now_ns();
+  }
+  ~ScopedSpan() {
+    if (rec_ != nullptr)
+      rec_->record(kind_, name_, begin_ns_, rec_->now_ns(), args_.data(),
+                   nargs_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Whether this span is being captured; guard arg computation with it.
+  [[nodiscard]] bool active() const { return rec_ != nullptr; }
+
+  /// Attaches a numeric argument (silently ignored beyond kMaxArgs or when
+  /// inactive). `key` must be a string literal.
+  void add_arg(const char* key, double value) {
+    if (rec_ == nullptr || nargs_ >= TraceRecorder::kMaxArgs) return;
+    args_[nargs_++] = {key, value};
+  }
+
+ private:
+  TraceRecorder* rec_ = nullptr;
+  std::uint64_t begin_ns_ = 0;
+  std::string name_;
+  SpanKind kind_;
+  std::array<SpanArg, TraceRecorder::kMaxArgs> args_{};
+  std::size_t nargs_ = 0;
+};
+
+}  // namespace obs

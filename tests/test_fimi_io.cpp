@@ -22,11 +22,42 @@ TEST(FimiIo, ParseBasic) {
   EXPECT_EQ(db.transaction(1)[1], 5u);
 }
 
-TEST(FimiIo, BlankLinesAreEmptyTransactions) {
+// Blank lines are skipped everywhere — interior, leading, trailing —
+// never parsed as empty transactions. Before the fix an interior blank
+// line became an empty transaction while one just before EOF was dropped;
+// the two paths now agree.
+TEST(FimiIo, BlankLinesAreSkipped) {
   std::istringstream in("1\n\n2\n");
   const auto db = read_fimi(in);
-  EXPECT_EQ(db.num_transactions(), 3u);
-  EXPECT_EQ(db.transaction(1).size(), 0u);
+  ASSERT_EQ(db.num_transactions(), 2u);
+  EXPECT_EQ(db.transaction(0)[0], 1u);
+  EXPECT_EQ(db.transaction(1)[0], 2u);
+}
+
+TEST(FimiIo, BlankLineVariantsAllAgree) {
+  // Interior, leading, whitespace-only, CRLF-blank, and before-EOF blank
+  // lines must all produce the same two transactions.
+  const char* variants[] = {
+      "\n1\n2\n",      // leading
+      "1\n\n2\n",      // interior
+      "1\n   \t \n2\n",  // whitespace-only
+      "1\r\n\r\n2\r\n",  // CRLF blanks
+      "1\n2\n\n",      // blank before EOF
+      "1\n2\n\n\n",    // multiple blanks before EOF
+  };
+  for (const char* v : variants) {
+    std::istringstream in(v);
+    const auto db = read_fimi(in);
+    ASSERT_EQ(db.num_transactions(), 2u) << "input: " << v;
+    EXPECT_EQ(db.transaction(0)[0], 1u) << "input: " << v;
+    EXPECT_EQ(db.transaction(1)[0], 2u) << "input: " << v;
+  }
+}
+
+TEST(FimiIo, WhollyBlankInputIsEmptyDb) {
+  std::istringstream in("\n \n\t\n\r\n");
+  const auto db = read_fimi(in);
+  EXPECT_EQ(db.num_transactions(), 0u);
 }
 
 TEST(FimiIo, ToleratesExtraWhitespace) {
@@ -156,13 +187,48 @@ TEST(FimiIo, CrLfLineEndings) {
   EXPECT_EQ(db.transaction(0).size(), 2u);
 }
 
+TEST(FimiIo, CrLfWithoutFinalNewline) {
+  std::istringstream in("1 2\r\n3 4\r");
+  const auto db = read_fimi(in);
+  ASSERT_EQ(db.num_transactions(), 2u);
+  EXPECT_EQ(db.transaction(1)[1], 4u);
+}
+
+TEST(FimiIo, GarbageSuffixOnTokenRejected) {
+  // "3abc" must raise, not silently parse as 3 (the atoi failure mode).
+  std::istringstream in("1 2\n3abc\n");
+  try {
+    (void)read_fimi(in);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("unexpected character"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(FimiIo, WriteReadRoundTrip) {
   const auto db = TransactionDb::from_transactions(
-      {{10, 20, 30}, {}, {5}, {1, 2, 3, 4, 5, 6, 7}});
+      {{10, 20, 30}, {5}, {1, 2, 3, 4, 5, 6, 7}});
   std::ostringstream out;
   write_fimi(db, out);
   std::istringstream in(out.str());
   EXPECT_EQ(read_fimi(in), db);
+}
+
+TEST(FimiIo, EmptyTransactionIsDroppedByRoundTrip) {
+  // FIMI text cannot represent an empty transaction: write_fimi emits a
+  // bare newline for it, which read_fimi skips like any blank line.
+  const auto db = TransactionDb::from_transactions({{10, 20}, {}, {5}});
+  std::ostringstream out;
+  write_fimi(db, out);
+  std::istringstream in(out.str());
+  const auto back = read_fimi(in);
+  ASSERT_EQ(back.num_transactions(), 2u);
+  EXPECT_EQ(back.transaction(0)[0], 10u);
+  EXPECT_EQ(back.transaction(1)[0], 5u);
 }
 
 TEST(FimiIo, FileRoundTrip) {
