@@ -14,8 +14,10 @@
 // scales. EXPERIMENTS.md records the scale used for the committed numbers.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,12 +28,59 @@
 #include <vector>
 
 #include "core/gpapriori_all.hpp"
+#include "core/run_control.hpp"
 #include "datagen/datagen.hpp"
 #include "fim/fim.hpp"
 #include "gpusim/executor.hpp"
 #include "obs/obs.hpp"
 
 namespace bench {
+
+/// Exit code a cancelled sweep reports, matching gpapriori_cli's mapping.
+inline constexpr int kExitCancelled = 6;
+
+/// The sweep's active run controller, for the signal handler (atomic load
+/// + CancelToken CAS only — async-signal-safe). The sweep loop notices the
+/// tripped token cooperatively, stops, and still writes the CSV/JSON tail.
+inline std::atomic<gpapriori::RunControl*> g_active_run{nullptr};
+
+extern "C" inline void bench_handle_cancel_signal(int /*sig*/) {
+  if (auto* rc = g_active_run.load(std::memory_order_acquire))
+    rc->request_cancel(gpusim::CancelCause::kUser);
+}
+
+inline void install_signal_handlers() {
+  std::signal(SIGINT, bench_handle_cancel_signal);
+  std::signal(SIGTERM, bench_handle_cancel_signal);
+}
+
+/// Parses the run-lifecycle flags shared with gpapriori_cli:
+/// --deadline-ms MS, --device-budget-ms MS, --watchdog-ms MS (each a
+/// positive float; bad values warned and ignored). GPAPRIORI_DEADLINE_MS
+/// supplies the deadline when the flag is absent (see RunControl).
+inline gpapriori::RunControlOptions parse_run_control(int argc, char** argv) {
+  gpapriori::RunControlOptions rco;
+  auto grab = [&](const char* flag, const char* arg, double& out) {
+    char* end = nullptr;
+    const double v = std::strtod(arg, &end);
+    if (end != arg && *end == '\0' && std::isfinite(v) && v > 0) {
+      out = v;
+      return;
+    }
+    std::fprintf(stderr,
+                 "bench: ignoring %s '%s' (want a positive float, ms)\n", flag,
+                 arg);
+  };
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--deadline-ms") == 0)
+      grab("--deadline-ms", argv[i + 1], rco.deadline_ms);
+    else if (std::strcmp(argv[i], "--device-budget-ms") == 0)
+      grab("--device-budget-ms", argv[i + 1], rco.device_budget_ms);
+    else if (std::strcmp(argv[i], "--watchdog-ms") == 0)
+      grab("--watchdog-ms", argv[i + 1], rco.watchdog_ms);
+  }
+  return rco;
+}
 
 /// Strict parse of GPAPRIORI_BENCH_SCALE (same discipline as
 /// resolve_host_threads in gpusim/executor.cpp): the whole value must be a
@@ -64,6 +113,9 @@ struct FigureOptions {
   /// With repeat > 1 an extra untimed warmup pass runs first. Fig6 mains
   /// set this from --repeat N.
   int repeat = 1;
+  /// Run lifecycle limits (deadline, device budget, watchdog), applied per
+  /// miner run. Fig6 mains fill this from parse_run_control.
+  gpapriori::RunControlOptions run_control;
 };
 
 /// Parses --repeat N from a bench binary's argv (ignores everything else).
@@ -180,15 +232,24 @@ inline std::ofstream open_json(const std::string& stem) {
 }
 
 /// Runs the full Fig. 6-style sweep for one dataset profile. `stem` names
-/// the machine-readable output (results/BENCH_<stem>.json).
-inline void run_figure(const char* figure_id, const char* stem,
-                       datagen::DatasetId id, double default_scale,
-                       const FigureOptions& opts) {
+/// the machine-readable output (results/BENCH_<stem>.json). Returns the
+/// process exit code: 0, or kExitCancelled when a deadline / watchdog /
+/// signal stopped the sweep early (the CSV/JSON tail is still written).
+inline int run_figure(const char* figure_id, const char* stem,
+                      datagen::DatasetId id, double default_scale,
+                      const FigureOptions& opts) {
   const auto& prof = datagen::profile(id);
   const double scale = resolve_scale(default_scale);
   const auto db = prof.generate(scale);
   std::ofstream csv = open_csv("fig6_" + prof.name);
   std::ofstream json = open_json(stem);
+
+  gpapriori::RunControl run(opts.run_control);
+  gpapriori::Config gcfg = opts.gpu_config;
+  gcfg.run_control = &run;
+  g_active_run.store(&run, std::memory_order_release);
+  install_signal_handlers();
+  bool cancelled = false;
 
   // Aggregate counters for the whole sweep; the BENCH json carries them in
   // a "metrics" block so regressions in work volume (words ANDed, bytes
@@ -240,7 +301,7 @@ inline void run_figure(const char* figure_id, const char* stem,
 
     double borgelt_ms = 0;
     std::vector<std::tuple<std::string, miners::MiningOutput, double>> rows;
-    for (auto& miner : gpapriori::make_all_miners(opts.gpu_config)) {
+    for (auto& miner : gpapriori::make_all_miners(gcfg)) {
       const std::string name{miner->name()};
       if (name == "Goethals Apriori" &&
           (!opts.include_goethals || sup < opts.goethals_min_support))
@@ -266,6 +327,17 @@ inline void run_figure(const char* figure_id, const char* stem,
           walls.size() % 2 == 1
               ? walls[walls.size() / 2]
               : 0.5 * (walls[walls.size() / 2 - 1] + walls[walls.size() / 2]);
+      if (out.truncated()) {
+        // Deadline/watchdog/signal: the partial row is not comparable, so
+        // drop it and stop the sweep; finished rows still go out below.
+        std::fprintf(stderr,
+                     "bench: sweep cancelled (%s) during %s at minsup %g "
+                     "(level %zu); writing completed results\n",
+                     out.stop_reason.c_str(), name.c_str(), sup,
+                     out.truncated_at_level);
+        cancelled = true;
+        break;
+      }
       if (name == "Borgelt Apriori") borgelt_ms = out.total_ms();
       rows.emplace_back(name, std::move(out), wall_ms);
     }
@@ -302,12 +374,16 @@ inline void run_figure(const char* figure_id, const char* stem,
     if (gpu > 0 && cpu > 0)
       std::printf("         -> GPApriori vs CPU_TEST: %.2fx\n", cpu / gpu);
     std::printf("\n");
+    if (cancelled) break;
   }
   if (json)
-    json << "\n  ],\n  \"metrics\": " << metrics.to_json(2) << "\n}\n";
+    json << "\n  ],\n  \"cancelled\": " << (cancelled ? "true" : "false")
+         << ",\n  \"metrics\": " << metrics.to_json(2) << "\n}\n";
   // Persist any trace the sweep produced now, while the output path is
   // still known-good (the atexit flush would also catch it).
   obs::TraceRecorder::global().flush();
+  g_active_run.store(nullptr, std::memory_order_release);
+  return cancelled ? kExitCancelled : 0;
 }
 
 }  // namespace bench

@@ -10,9 +10,10 @@ int main(int argc, char** argv) {
   bench::FigureOptions opts;
   bench::setup_trace(argc, argv);
   opts.repeat = bench::parse_repeat(argc, argv);
+  opts.run_control = bench::parse_run_control(argc, argv);
   opts.include_goethals = true;
   opts.goethals_min_support = 0.015;
-  bench::run_figure("Fig. 6(a)", "fig6a", datagen::DatasetId::kT40I10D100K,
-                    /*default_scale=*/0.25, opts);
-  return 0;
+  return bench::run_figure("Fig. 6(a)", "fig6a",
+                           datagen::DatasetId::kT40I10D100K,
+                           /*default_scale=*/0.25, opts);
 }

@@ -7,7 +7,7 @@ int main(int argc, char** argv) {
   bench::FigureOptions opts;
   bench::setup_trace(argc, argv);
   opts.repeat = bench::parse_repeat(argc, argv);
-  bench::run_figure("Fig. 6(b)", "fig6b", datagen::DatasetId::kPumsb,
-                    /*default_scale=*/0.2, opts);
-  return 0;
+  opts.run_control = bench::parse_run_control(argc, argv);
+  return bench::run_figure("Fig. 6(b)", "fig6b", datagen::DatasetId::kPumsb,
+                           /*default_scale=*/0.2, opts);
 }

@@ -16,6 +16,8 @@
 // static -> partitioned -> CPU ladder — and prints the ResilienceReport
 // to stderr.
 
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +29,7 @@
 
 #include "baselines/baselines.hpp"
 #include "core/gpapriori_all.hpp"
+#include "core/run_control.hpp"
 #include "fim/fim.hpp"
 #include "obs/obs.hpp"
 
@@ -41,8 +44,26 @@ enum ExitCode {
   kExitIo = 3,
   kExitLaunch = 4,
   kExitTransfer = 5,
+  kExitCancelled = 6,
   kExitUsage = 64,
 };
+
+// The active run's controller, for the signal handler. The handler only
+// performs an atomic load and an atomic CAS (CancelToken::request), both
+// async-signal-safe; everything else — salvage, trace/metrics flush, the
+// typed exit code — happens on the normal path because cancellation is
+// cooperative.
+std::atomic<gpapriori::RunControl*> g_active_run{nullptr};
+
+extern "C" void handle_cancel_signal(int /*sig*/) {
+  if (auto* rc = g_active_run.load(std::memory_order_acquire))
+    rc->request_cancel(gpusim::CancelCause::kUser);
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_cancel_signal);
+  std::signal(SIGTERM, handle_cancel_signal);
+}
 
 int usage() {
   std::fprintf(
@@ -53,6 +74,9 @@ int usage() {
       "                [--max-size K] [--rules CONF] [--closed | --maximal]\n"
       "                [--out FILE] [--fault-plan SPEC] [--host-threads N]\n"
       "                [--no-native] [--trace-out FILE] [--metrics]\n"
+      "                [--deadline-ms MS] [--device-budget-ms MS]\n"
+      "                [--watchdog-ms MS] [--checkpoint FILE] [--resume "
+      "FILE]\n"
       "  gpapriori_cli topk <file.dat> <K> [--algo NAME]\n"
       "  gpapriori_cli list-algos\n"
       "\n"
@@ -81,8 +105,19 @@ int usage() {
       "static -> partitioned -> CPU_TEST instead of failing; the\n"
       "ResilienceReport is printed to stderr on degraded runs.\n"
       "\n"
+      "Run lifecycle control: --deadline-ms caps wall time (env:\n"
+      "GPAPRIORI_DEADLINE_MS), --device-budget-ms caps simulated device\n"
+      "time, --watchdog-ms trips cancellation when no progress is made for\n"
+      "that long, and Ctrl-C / SIGTERM cancel cooperatively. A cancelled\n"
+      "run still prints every fully-counted level (stderr notes the level\n"
+      "it stopped at) and exits 6. --checkpoint FILE snapshots the frequent\n"
+      "itemsets after every completed level; --resume FILE restarts\n"
+      "bit-exactly from such a snapshot (GPApriori and CPU_TEST;\n"
+      "digest-verified against the input dataset).\n"
+      "\n"
       "exit codes: 0 ok, 1 error, 2 device out-of-memory, 3 I/O error,\n"
-      "            4 kernel-launch failure, 5 transfer failure, 64 usage\n");
+      "            4 kernel-launch failure, 5 transfer failure,\n"
+      "            6 cancelled (deadline/watchdog/signal), 64 usage\n");
   return kExitUsage;
 }
 
@@ -122,7 +157,23 @@ struct Options {
   bool metrics = false;
   std::uint32_t host_threads = 0;
   bool native = true;
+  double deadline_ms = 0;
+  double device_budget_ms = 0;
+  double watchdog_ms = 0;
+  std::string checkpoint_path;
+  std::string resume_path;
 };
+
+bool parse_ms(const char* flag, const char* v, double& out) {
+  char* end = nullptr;
+  const double x = std::strtod(v, &end);
+  if (end == v || *end != '\0' || !(x > 0)) {
+    std::fprintf(stderr, "%s needs a positive number of milliseconds\n", flag);
+    return false;
+  }
+  out = x;
+  return true;
+}
 
 bool parse_flags(int argc, char** argv, int start, Options& o) {
   for (int i = start; i < argc; ++i) {
@@ -178,6 +229,24 @@ bool parse_flags(int argc, char** argv, int start, Options& o) {
       const char* v = next("--trace-out");
       if (!v) return false;
       o.trace_out = v;
+    } else if (a == "--deadline-ms") {
+      const char* v = next("--deadline-ms");
+      if (!v || !parse_ms("--deadline-ms", v, o.deadline_ms)) return false;
+    } else if (a == "--device-budget-ms") {
+      const char* v = next("--device-budget-ms");
+      if (!v || !parse_ms("--device-budget-ms", v, o.device_budget_ms))
+        return false;
+    } else if (a == "--watchdog-ms") {
+      const char* v = next("--watchdog-ms");
+      if (!v || !parse_ms("--watchdog-ms", v, o.watchdog_ms)) return false;
+    } else if (a == "--checkpoint") {
+      const char* v = next("--checkpoint");
+      if (!v) return false;
+      o.checkpoint_path = v;
+    } else if (a == "--resume") {
+      const char* v = next("--resume");
+      if (!v) return false;
+      o.resume_path = v;
     } else if (a == "--metrics") {
       o.metrics = true;
     } else if (a == "--fault-plan") {
@@ -226,9 +295,18 @@ int cmd_mine(int argc, char** argv) {
     return kExitUsage;
   }
   setup_observability(o);
+  gpapriori::RunControlOptions rco;
+  rco.deadline_ms = o.deadline_ms;
+  rco.device_budget_ms = o.device_budget_ms;
+  rco.watchdog_ms = o.watchdog_ms;
+  rco.checkpoint_path = o.checkpoint_path;
+  rco.resume_path = o.resume_path;
+  gpapriori::RunControl run(rco);
+
   gpapriori::Config cfg;
   cfg.host_threads = o.host_threads;
   cfg.native = o.native;
+  cfg.run_control = &run;
   if (!o.fault_plan.empty()) {
     try {
       cfg.fault_plan = gpusim::FaultPlan::parse(o.fault_plan);
@@ -249,8 +327,23 @@ int cmd_mine(int argc, char** argv) {
   p.min_support_abs = o.count;
   p.max_itemset_size = o.max_size;
 
+  g_active_run.store(&run, std::memory_order_release);
+  install_signal_handlers();
   const auto result = miner->mine(db, p);
+  g_active_run.store(nullptr, std::memory_order_release);
   finish_observability(o);
+
+  if (result.truncated()) {
+    std::fprintf(stderr,
+                 "cancelled (%s) while counting level %zu; %zu completed "
+                 "levels salvaged%s\n",
+                 result.stop_reason.c_str(), result.truncated_at_level,
+                 result.levels.size(),
+                 o.checkpoint_path.empty()
+                     ? ""
+                     : " (checkpoint is resumable with --resume)");
+  }
+
   fim::ItemsetCollection sets = result.itemsets;
   const char* kind = "frequent";
   if (o.closed) {
@@ -299,7 +392,7 @@ int cmd_mine(int argc, char** argv) {
              << r.consequent.to_string() << " (sup " << r.support << ", conf "
              << r.confidence << ", lift " << r.lift << ")\n";
   }
-  return kExitOk;
+  return result.truncated() ? kExitCancelled : kExitOk;
 }
 
 int cmd_topk(int argc, char** argv) {
@@ -334,6 +427,10 @@ int main(int argc, char** argv) {
       return cmd_mine(argc, argv);
     if (argc >= 3 && std::strcmp(argv[1], "topk") == 0)
       return cmd_topk(argc, argv);
+  } catch (const gpusim::CancelledError& e) {
+    // Backstop: drivers normally salvage instead of letting this escape.
+    std::fprintf(stderr, "cancelled: %s\n", e.what());
+    return kExitCancelled;
   } catch (const gpusim::DeviceOomError& e) {
     std::fprintf(stderr, "device out of memory: %s\n", e.what());
     return kExitDeviceOom;

@@ -51,6 +51,16 @@ struct MiningOutput {
   double host_ms = 0;    ///< measured wall time on the CPU
   double device_ms = 0;  ///< simulated device time (0 for CPU miners)
 
+  /// Salvaged-run marker (run lifecycle control, DESIGN.md §11). 0 = the
+  /// run completed; k > 0 = the run was cancelled while counting level k,
+  /// and `itemsets`/`levels` hold exactly the fully-completed levels < k.
+  std::size_t truncated_at_level = 0;
+  /// Why a truncated run stopped ("user-cancel", "deadline",
+  /// "device-budget", "watchdog"); empty for complete runs.
+  std::string stop_reason;
+
+  [[nodiscard]] bool truncated() const { return truncated_at_level != 0; }
+
   /// The number a Fig. 6 series reports: CPU work plus (for GPApriori)
   /// simulated kernel + PCIe time.
   [[nodiscard]] double total_ms() const { return host_ms + device_ms; }

@@ -11,6 +11,8 @@
 
 namespace gpapriori {
 
+class RunControl;
+
 struct Config {
   /// Threads per block for the support kernel (paper: hand-tuned; must be a
   /// power of two so the tree reduction is exact). 0 = auto-tune per run:
@@ -76,6 +78,12 @@ struct Config {
   /// Device-bitset budget used when degrading to partitioned streaming
   /// (0 = arena_bytes / 4).
   std::size_t partition_budget_bytes = 0;
+
+  /// Run lifecycle control (core/run_control.hpp): deadlines, cooperative
+  /// cancellation, hang watchdog, level checkpoint/resume. Unowned; must
+  /// outlive every mine() call. Null = each mine() builds its own from the
+  /// environment (GPAPRIORI_DEADLINE_MS), which is inert when unset.
+  RunControl* run_control = nullptr;
 
   [[nodiscard]] bool valid_block_size() const {
     return block_size == 0 ||

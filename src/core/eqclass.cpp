@@ -6,6 +6,7 @@
 
 #include "baselines/apriori_util.hpp"
 #include "core/candidate_trie.hpp"
+#include "core/run_control.hpp"
 #include "fim/bitset_ops.hpp"
 
 namespace gpapriori {
@@ -81,6 +82,12 @@ miners::MiningOutput EqClassApriori::mine(const fim::TransactionDb& db,
   ledger_.reset();
   peak_device_bytes_ = 0;
 
+  RunScope scope(cfg_.run_control);
+  const bool snapshotting =
+      scope.control() != nullptr && scope.control()->want_checkpoint();
+  const std::uint64_t dataset_dig =
+      snapshotting ? fim::dataset_digest(db) : 0;
+
   miners::StopWatch host;
   miners::Preprocessed pre =
       miners::preprocess(db, min_count, miners::ItemOrder::kAscendingFreq);
@@ -107,6 +114,7 @@ miners::MiningOutput EqClassApriori::mine(const fim::TransactionDb& db,
   dopts.executor.sample_stride = cfg_.sample_stride;
   dopts.executor.host_threads = cfg_.host_threads;
   dopts.executor.native = cfg_.native;
+  dopts.executor.cancel = scope.cancel_token();
   dopts.record_launches = false;
   gpusim::Device device(cfg_.device, dopts);
 
@@ -118,8 +126,15 @@ miners::MiningOutput EqClassApriori::mine(const fim::TransactionDb& db,
   auto d_parents = d_gen1;
   bool parents_owned = false;
 
-  for (std::size_t k = 2;; ++k) {
+  const std::uint64_t layout_dig = snapshotting ? layout_digest(pre) : 0;
+  maybe_write_checkpoint(scope, out, 1, dataset_dig, layout_dig, min_count,
+                         static_cast<std::uint32_t>(params.max_itemset_size));
+
+  std::size_t k = 2;
+  try {
+  for (;; ++k) {
     if (params.max_itemset_size && k > params.max_itemset_size) break;
+    scope.check("eqclass-level", device.ledger().total_ns() / 1e6);
     host.restart();
     const std::size_t ncand = trie.extend();
     if (ncand == 0) break;
@@ -229,7 +244,16 @@ miners::MiningOutput EqClassApriori::mine(const fim::TransactionDb& db,
     level_host += host.elapsed_ms();
     out.levels.push_back({k, ncand, survivors, level_host, level_device});
     out.host_ms += level_host;
+
+    scope.level_completed(k, device.ledger().total_ns() / 1e6);
+    maybe_write_checkpoint(scope, out, k, dataset_dig, layout_dig, min_count,
+                           static_cast<std::uint32_t>(params.max_itemset_size));
+
     if (survivors == 0) break;
+  }
+  } catch (const gpusim::CancelledError& e) {
+    // Salvage completed levels; the cached-row arenas die with `device`.
+    mark_truncated(out, k, e.cause());
   }
 
   ledger_ = device.ledger();

@@ -1,12 +1,15 @@
 #include "core/gpapriori.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "baselines/apriori_util.hpp"
 #include "core/candidate_trie.hpp"
+#include "core/run_control.hpp"
 #include "core/support_kernel.hpp"
 #include "fim/bitset_ops.hpp"
+#include "fim/fimi_io.hpp"
 #include "obs/obs.hpp"
 
 namespace gpapriori {
@@ -41,6 +44,80 @@ miners::MiningOutput make_level1_output(const miners::Preprocessed& pre,
   out.levels.push_back({1, n, n, host_ms, 0});
   out.host_ms += host_ms;
   return out;
+}
+
+/// Loads and validates a --resume snapshot against this run's inputs: the
+/// dataset digest proves the same transactions, min-count/max-size prove
+/// the same thresholds. (The layout digest is checked separately, after
+/// preprocessing.) Any mismatch is an I/O-class error — wrong file, not a
+/// device fault — so it maps to the CLI's I/O exit code.
+fim::MiningCheckpoint load_resume(const std::string& path,
+                                  std::uint64_t dataset_dig,
+                                  fim::Support min_count,
+                                  std::size_t max_itemset_size) {
+  fim::MiningCheckpoint cp = fim::MiningCheckpoint::read(path);
+  if (cp.dataset_digest != dataset_dig)
+    throw fim::IoError(
+        "resume rejected: checkpoint was taken on a different dataset: " +
+        path);
+  if (cp.min_count != min_count)
+    throw fim::IoError("resume rejected: checkpoint min-count " +
+                       std::to_string(cp.min_count) + " != run min-count " +
+                       std::to_string(min_count) + ": " + path);
+  if (cp.max_itemset_size != max_itemset_size)
+    throw fim::IoError(
+        "resume rejected: checkpoint max-itemset-size mismatch: " + path);
+  return cp;
+}
+
+/// Replays candidate generation for levels 2..cp.completed_level with the
+/// snapshot's recorded supports injected instead of recounted. Candidate
+/// generation is deterministic, so the trie and emitted itemsets end
+/// bit-identical to the interrupted run's state — no device work needed
+/// for replayed levels. Returns the highest level replayed (>= 1).
+std::size_t replay_levels(const fim::MiningCheckpoint& cp,
+                          const miners::Preprocessed& pre,
+                          fim::Support min_count, CandidateTrie& trie,
+                          miners::MiningOutput& out) {
+  fim::ItemsetCollection saved = cp.itemsets;
+  saved.build_index();
+  // Replayed levels report the interrupted run's recorded stats, so a
+  // resumed run's LevelStats table matches the run it continues.
+  for (const fim::CheckpointLevel& lv : cp.levels)
+    if (lv.level == 1 && !out.levels.empty())
+      out.levels[0] = {1, static_cast<std::size_t>(lv.candidates),
+                       static_cast<std::size_t>(lv.frequent), lv.host_ms,
+                       lv.device_ms};
+  std::size_t replayed = 1;
+  for (std::size_t k = 2; k <= cp.completed_level; ++k) {
+    const std::size_t ncand = trie.extend();
+    if (ncand == 0) break;
+    std::vector<fim::Support> supports(ncand, 0);
+    for (std::size_t i = 0; i < ncand; ++i) {
+      const auto rows = trie.candidate_items(k, i);
+      std::vector<fim::Item> items;
+      items.reserve(rows.size());
+      for (fim::Item r : rows) items.push_back(pre.original_item[r]);
+      // Pruned candidates are absent from the snapshot: 0 keeps them
+      // below min_count, exactly as the original counting did.
+      supports[i] =
+          saved.support_of(fim::Itemset(std::move(items))).value_or(0);
+    }
+    trie.mark_frequent(k, supports, min_count);
+    std::vector<fim::Support> kept;
+    kept.reserve(trie.level_size(k));
+    for (fim::Support s : supports)
+      if (s >= min_count) kept.push_back(s);
+    emit_level(trie, k, kept, pre.original_item, out.itemsets);
+    for (const fim::CheckpointLevel& lv : cp.levels)
+      if (lv.level == k)
+        out.levels.push_back({k, static_cast<std::size_t>(lv.candidates),
+                              static_cast<std::size_t>(lv.frequent),
+                              lv.host_ms, lv.device_ms});
+    replayed = k;
+    if (trie.level_size(k) == 0) break;
+  }
+  return replayed;
 }
 
 /// Largest per-partition transaction count whose bitset slice (n rows at
@@ -95,11 +172,21 @@ void mine_levels_on_device(FaultAwareDevice& fdev,
                            const Config& cfg,
                            const miners::MiningParams& params,
                            fim::Support min_count, miners::MiningOutput& out,
-                           std::vector<gpusim::KernelStats>* history) {
+                           std::vector<gpusim::KernelStats>* history,
+                           RunScope& scope, std::uint64_t dataset_dig,
+                           std::uint64_t layout_dig,
+                           const fim::MiningCheckpoint* resume) {
   gpusim::Device& device = fdev.device();
   const std::size_t n = pre.original_item.size();
   const bool resident = slices.size() == 1;
+  auto device_ms = [&device] { return device.ledger().total_ns() / 1e6; };
 
+  CandidateTrie trie(n);
+  // `k` is the level currently being counted; anything thrown while it is
+  // in flight leaves `out` holding exactly the completed levels < k, which
+  // is what the CancelledError handler below salvages.
+  std::size_t k = 2;
+  try {
   std::size_t max_slice_words = 0;
   for (const auto& s : slices)
     max_slice_words = std::max(max_slice_words, s.arena().size());
@@ -108,10 +195,17 @@ void mine_levels_on_device(FaultAwareDevice& fdev,
                            fim::BitsetStore::kAlignBytes);
   if (resident) fdev.upload(d_bits.get(), slices[0].arena());
 
-  CandidateTrie trie(n);
+  if (resume != nullptr) {
+    k = replay_levels(*resume, pre, min_count, trie, out) + 1;
+  } else {
+    maybe_write_checkpoint(scope, out, 1, dataset_dig, layout_dig, min_count,
+                           static_cast<std::uint32_t>(params.max_itemset_size));
+  }
+
   miners::StopWatch host;
-  for (std::size_t k = 2;; ++k) {
+  for (;; ++k) {
     if (params.max_itemset_size && k > params.max_itemset_size) break;
+    scope.check("mine-level", device_ms());
 
     obs::ScopedSpan level_span(obs::SpanKind::kMineLevel, "mine-level");
 
@@ -209,7 +303,17 @@ void mine_levels_on_device(FaultAwareDevice& fdev,
       metrics.record_level(k, lm);
     }
 
+    scope.level_completed(k, device_ms());
+    maybe_write_checkpoint(scope, out, k, dataset_dig, layout_dig, min_count,
+                           static_cast<std::uint32_t>(params.max_itemset_size));
+
     if (trie.level_size(k) == 0) break;
+  }
+  } catch (const gpusim::CancelledError& e) {
+    // Cooperative salvage: the executor drained its in-flight chunks and
+    // every device allocation unwound; keep the completed levels and mark
+    // where the run stopped. Cancellation never walks the ladder.
+    mark_truncated(out, k, e.cause());
   }
 }
 
@@ -230,12 +334,30 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
   ledger_.reset();
   report_.reset();
 
+  RunScope scope(cfg_.run_control);
+  RunControl* rc = scope.control();
+  const bool snapshotting =
+      rc != nullptr && (rc->want_resume() || rc->want_checkpoint());
+  const std::uint64_t dataset_dig =
+      snapshotting ? fim::dataset_digest(db) : 0;
+  std::optional<fim::MiningCheckpoint> resume;
+  if (rc != nullptr && rc->want_resume())
+    resume = load_resume(rc->options().resume_path, dataset_dig, min_count,
+                         params.max_itemset_size);
+
   // ---- Host: preprocessing (measured, shared by every ladder rung). ----
   miners::StopWatch host;
   miners::Preprocessed pre =
       miners::preprocess(db, min_count, miners::ItemOrder::kAscendingFreq);
   const std::size_t n = pre.original_item.size();
   const double pre_ms = host.elapsed_ms();
+
+  const std::uint64_t layout_dig = snapshotting ? layout_digest(pre) : 0;
+  if (resume && resume->layout_digest != layout_dig)
+    throw fim::IoError(
+        "resume rejected: vertical layout digest mismatch (different "
+        "preprocessing?): " +
+        rc->options().resume_path);
 
   if (n == 0) {
     miners::MiningOutput out = make_level1_output(pre, pre_ms);
@@ -249,15 +371,30 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
   dopts.executor.sample_stride = cfg_.sample_stride;
   dopts.executor.host_threads = cfg_.host_threads;
   dopts.executor.native = cfg_.native;
+  dopts.executor.cancel = scope.cancel_token();
   dopts.fault_plan = cfg_.fault_plan;
   gpusim::Device device(cfg_.device, dopts);
   FaultAwareDevice fdev(device, cfg_.retry, report_);
+  fdev.set_cancel_token(scope.cancel_token());
 
   auto finalize = [&](miners::MiningOutput& out) {
     ledger_ = device.ledger();
     report_.device_faults = device.fault_stats();
     out.device_ms = ledger_.total_ns() / 1e6;
     out.itemsets.canonicalize();
+  };
+
+  const fim::MiningCheckpoint* resume_ptr = resume ? &*resume : nullptr;
+
+  // A cancellation that lands between rungs salvages the guaranteed-valid
+  // prefix (level 1 came straight out of preprocessing) instead of hopping
+  // the ladder: the deadline is the reason to stop, not a fault to survive.
+  auto salvage_level1 = [&](miners::MiningOutput&& out) {
+    mark_truncated(out, 2, rc->cause());
+    maybe_write_checkpoint(scope, out, 1, dataset_dig, layout_dig, min_count,
+                           static_cast<std::uint32_t>(params.max_itemset_size));
+    finalize(out);
+    return std::move(out);
   };
 
   // ---- Rung 1: the paper's static-bitset design. ----
@@ -270,7 +407,8 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
     single.push_back(fim::BitsetStore::from_db(pre.db, rows));
     miners::MiningOutput out = make_level1_output(pre, pre_ms);
     mine_levels_on_device(fdev, pre, single, cfg_, params, min_count, out,
-                          &history_);
+                          &history_, scope, dataset_dig, layout_dig,
+                          resume_ptr);
     finalize(out);
     return out;
   } catch (const gpusim::SimError& e) {
@@ -280,6 +418,11 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
     report_.time_lost_ms += lost.elapsed_ms();
     report_.push_event(std::string("static-bitset attempt failed: ") +
                        e.what());
+  }
+
+  if (rc != nullptr) {
+    scope.poll(device.ledger().total_ns() / 1e6);
+    if (rc->cancelled()) return salvage_level1(make_level1_output(pre, pre_ms));
   }
 
   // ---- Rung 2: partitioned streaming, on device OOM only (persistent
@@ -308,7 +451,8 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
                          std::to_string(budget) + " B bitset budget)");
       miners::MiningOutput out = make_level1_output(pre, pre_ms);
       mine_levels_on_device(fdev, pre, slices, cfg_, params, min_count, out,
-                            &history_);
+                            &history_, scope, dataset_dig, layout_dig,
+                            resume_ptr);
       finalize(out);
       return out;
     } catch (const gpusim::SimError& e) {
@@ -316,6 +460,12 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
       report_.time_lost_ms += lost.elapsed_ms();
       report_.push_event(std::string("partitioned attempt failed: ") +
                          e.what());
+    }
+
+    if (rc != nullptr) {
+      scope.poll(device.ledger().total_ns() / 1e6);
+      if (rc->cancelled())
+        return salvage_level1(make_level1_output(pre, pre_ms));
     }
   }
 
@@ -328,7 +478,7 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
   report_.push_event("degraded to CPU_TEST (device abandoned)");
   ledger_ = device.ledger();
   report_.device_faults = device.fault_stats();
-  miners::MiningOutput out = CpuBitsetApriori().mine(db, params);
+  miners::MiningOutput out = CpuBitsetApriori(rc).mine(db, params);
   return out;
 }
 
@@ -338,9 +488,27 @@ miners::MiningOutput CpuBitsetApriori::mine(const fim::TransactionDb& db,
   miners::MiningOutput out;
   const fim::Support min_count = params.resolve_min_count(db.num_transactions());
 
+  RunScope scope(run_control_);
+  RunControl* rc = scope.control();
+  const bool snapshotting =
+      rc != nullptr && (rc->want_resume() || rc->want_checkpoint());
+  const std::uint64_t dataset_dig =
+      snapshotting ? fim::dataset_digest(db) : 0;
+  std::optional<fim::MiningCheckpoint> resume;
+  if (rc != nullptr && rc->want_resume())
+    resume = load_resume(rc->options().resume_path, dataset_dig, min_count,
+                         params.max_itemset_size);
+
   miners::Preprocessed pre =
       miners::preprocess(db, min_count, miners::ItemOrder::kAscendingFreq);
   const std::size_t n = pre.original_item.size();
+
+  const std::uint64_t layout_dig = snapshotting ? layout_digest(pre) : 0;
+  if (resume && resume->layout_digest != layout_dig)
+    throw fim::IoError(
+        "resume rejected: vertical layout digest mismatch (different "
+        "preprocessing?): " +
+        rc->options().resume_path);
 
   std::vector<fim::Item> rows(n);
   for (fim::Item i = 0; i < n; ++i) rows[i] = i;
@@ -351,30 +519,50 @@ miners::MiningOutput CpuBitsetApriori::mine(const fim::TransactionDb& db,
     out.itemsets.add(fim::Itemset{pre.original_item[x]}, pre.support[x]);
   out.levels.push_back({1, n, n, 0, 0});
 
-  for (std::size_t k = 2; n > 0; ++k) {
-    if (params.max_itemset_size && k > params.max_itemset_size) break;
-    const miners::StopWatch level;
-    const std::size_t ncand = trie.extend();
-    if (ncand == 0) break;
-    const std::vector<std::uint32_t> flat = trie.flatten_level(k);
+  std::size_t k = 2;
+  try {
+    if (resume.has_value() && n > 0) {
+      k = replay_levels(*resume, pre, min_count, trie, out) + 1;
+    } else {
+      maybe_write_checkpoint(
+          scope, out, 1, dataset_dig, layout_dig, min_count,
+          static_cast<std::uint32_t>(params.max_itemset_size));
+    }
 
-    // Complete intersection on the host: the same k-way AND + popcount the
-    // kernel performs, over the same 64-byte-aligned store.
-    std::vector<fim::Support> supports(ncand);
-    for (std::size_t c = 0; c < ncand; ++c)
-      supports[c] = store.and_popcount(
-          std::span<const std::uint32_t>(flat).subspan(c * k, k));
+    for (; n > 0; ++k) {
+      if (params.max_itemset_size && k > params.max_itemset_size) break;
+      scope.check("cpu-level");
+      const miners::StopWatch level;
+      const std::size_t ncand = trie.extend();
+      if (ncand == 0) break;
+      const std::vector<std::uint32_t> flat = trie.flatten_level(k);
 
-    trie.mark_frequent(k, supports, min_count);
-    std::vector<fim::Support> kept;
-    kept.reserve(trie.level_size(k));
-    for (fim::Support s : supports)
-      if (s >= min_count) kept.push_back(s);
-    emit_level(trie, k, kept, pre.original_item, out.itemsets);
+      // Complete intersection on the host: the same k-way AND + popcount
+      // the kernel performs, over the same 64-byte-aligned store.
+      std::vector<fim::Support> supports(ncand);
+      for (std::size_t c = 0; c < ncand; ++c)
+        supports[c] = store.and_popcount(
+            std::span<const std::uint32_t>(flat).subspan(c * k, k));
 
-    out.levels.push_back(
-        {k, ncand, trie.level_size(k), level.elapsed_ms(), 0});
-    if (trie.level_size(k) == 0) break;
+      trie.mark_frequent(k, supports, min_count);
+      std::vector<fim::Support> kept;
+      kept.reserve(trie.level_size(k));
+      for (fim::Support s : supports)
+        if (s >= min_count) kept.push_back(s);
+      emit_level(trie, k, kept, pre.original_item, out.itemsets);
+
+      out.levels.push_back(
+          {k, ncand, trie.level_size(k), level.elapsed_ms(), 0});
+
+      scope.level_completed(k);
+      maybe_write_checkpoint(
+          scope, out, k, dataset_dig, layout_dig, min_count,
+          static_cast<std::uint32_t>(params.max_itemset_size));
+
+      if (trie.level_size(k) == 0) break;
+    }
+  } catch (const gpusim::CancelledError& e) {
+    mark_truncated(out, k, e.cause());
   }
 
   out.itemsets.canonicalize();

@@ -61,12 +61,22 @@ class GpApriori final : public miners::Miner {
 /// CPU_TEST of Table 1: GPApriori's algorithm on the host.
 class CpuBitsetApriori final : public miners::Miner {
  public:
+  /// Optional run lifecycle controller (deadline/cancel/checkpoint/resume,
+  /// core/run_control.hpp). Unowned; null = environment-driven. The CPU
+  /// rung of GpApriori's ladder passes the outer run's controller so one
+  /// deadline spans the whole ladder.
+  explicit CpuBitsetApriori(RunControl* run_control = nullptr)
+      : run_control_(run_control) {}
+
   [[nodiscard]] std::string_view name() const override { return "CPU_TEST"; }
   [[nodiscard]] std::string_view platform() const override {
     return "Single thread CPU";
   }
   [[nodiscard]] miners::MiningOutput mine(const fim::TransactionDb& db,
                                           const miners::MiningParams& params) override;
+
+ private:
+  RunControl* run_control_ = nullptr;
 };
 
 /// Every miner of the paper's Table 1 plus the Eclat/FP-Growth extensions,

@@ -5,6 +5,7 @@
 
 #include "baselines/apriori_util.hpp"
 #include "core/eqclass.hpp"
+#include "core/run_control.hpp"
 #include "fim/bitset_ops.hpp"
 #include "obs/obs.hpp"
 
@@ -28,6 +29,8 @@ struct Ctx {
   const std::vector<fim::Item>* original_item;
   fim::ItemsetCollection* out;
   std::size_t* peak_bytes;
+  RunScope* scope;
+  std::size_t* cur_depth;  ///< size of the itemsets the current class emits
 };
 
 void note_peak(const Ctx& ctx) {
@@ -47,6 +50,12 @@ void dfs(const fim::Itemset& prefix,
     if (ctx.max_size && found.size() >= ctx.max_size) continue;
     const std::size_t width = entries.size() - i - 1;
     if (width == 0) continue;
+
+    // Cancellation granularity for the DFS: once per class extension,
+    // mirroring the level-synchronous miners' once-per-level check. The
+    // depth is recorded first so a throw reports the class being extended.
+    *ctx.cur_depth = found.size() + 1;
+    ctx.scope->check("eclat-class", ctx.device->ledger().total_ns() / 1e6);
 
     obs::ScopedSpan class_span(obs::SpanKind::kMineLevel, "eclat-class");
 
@@ -128,6 +137,11 @@ miners::MiningOutput GpuEclat::mine(const fim::TransactionDb& db,
   ledger_.reset();
   peak_device_bytes_ = 0;
 
+  // DFS is not level-synchronous, so there is no checkpoint support here:
+  // cancellation salvages every itemset emitted so far and reports the
+  // depth of the class that was being extended when the token tripped.
+  RunScope scope(cfg_.run_control);
+
   miners::StopWatch host;
   miners::Preprocessed pre =
       miners::preprocess(db, min_count, miners::ItemOrder::kAscendingFreq);
@@ -148,6 +162,7 @@ miners::MiningOutput GpuEclat::mine(const fim::TransactionDb& db,
   dopts.executor.sample_stride = cfg_.sample_stride;
   dopts.executor.host_threads = cfg_.host_threads;
   dopts.executor.native = cfg_.native;
+  dopts.executor.cancel = scope.cancel_token();
   dopts.record_launches = false;  // DFS can launch thousands of kernels
   gpusim::Device device(cfg_.device, dopts);
 
@@ -160,6 +175,7 @@ miners::MiningOutput GpuEclat::mine(const fim::TransactionDb& db,
   for (fim::Item x = 0; x < n; ++x)
     root.push_back({x, x, pre.support[x]});
 
+  std::size_t cur_depth = 2;
   Ctx ctx{&device,
           static_cast<std::uint32_t>(store.row_stride_words()),
           static_cast<std::uint32_t>(store.words_per_row()),
@@ -168,9 +184,17 @@ miners::MiningOutput GpuEclat::mine(const fim::TransactionDb& db,
           params.max_itemset_size,
           &pre.original_item,
           &out.itemsets,
-          &peak_device_bytes_};
+          &peak_device_bytes_,
+          &scope,
+          &cur_depth};
 
-  dfs(fim::Itemset{}, d_gen1, root, ctx);
+  try {
+    dfs(fim::Itemset{}, d_gen1, root, ctx);
+  } catch (const gpusim::CancelledError& e) {
+    // Every itemset already emitted survives; skipped per-class frees are
+    // reclaimed when `device` is destroyed.
+    mark_truncated(out, cur_depth, e.cause());
+  }
   // host_ms covers preprocessing only: the DFS wall time is dominated by
   // SIMULATING the kernels (which real hardware would execute), and the
   // driver bookkeeping itself is a few table fills per class.

@@ -5,6 +5,7 @@
 
 #include "baselines/apriori_util.hpp"
 #include "core/candidate_trie.hpp"
+#include "core/run_control.hpp"
 #include "core/support_kernel.hpp"
 #include "fim/bitset_ops.hpp"
 #include "obs/obs.hpp"
@@ -26,6 +27,12 @@ miners::MiningOutput HybridApriori::mine(const fim::TransactionDb& db,
   miners::MiningOutput out;
   const fim::Support min_count = params.resolve_min_count(db.num_transactions());
   reports_.clear();
+
+  RunScope scope(cfg_.run_control);
+  const bool snapshotting =
+      scope.control() != nullptr && scope.control()->want_checkpoint();
+  const std::uint64_t dataset_dig =
+      snapshotting ? fim::dataset_digest(db) : 0;
 
   miners::StopWatch host;
   miners::Preprocessed pre =
@@ -52,6 +59,7 @@ miners::MiningOutput HybridApriori::mine(const fim::TransactionDb& db,
   dopts.executor.sample_stride = cfg_.sample_stride;
   dopts.executor.host_threads = cfg_.host_threads;
   dopts.executor.native = cfg_.native;
+  dopts.executor.cancel = scope.cancel_token();
   dopts.record_launches = false;
   gpusim::Device device(cfg_.device, dopts);
   auto d_bitsets = device.alloc<std::uint32_t>(store.arena().size(),
@@ -62,8 +70,15 @@ miners::MiningOutput HybridApriori::mine(const fim::TransactionDb& db,
   double cpu_ms_per_cand = 0, gpu_ms_per_cand = 0;
   double gpu_fraction = std::clamp(initial_gpu_fraction_, 0.0, 1.0);
 
-  for (std::size_t k = 2;; ++k) {
+  const std::uint64_t layout_dig = snapshotting ? layout_digest(pre) : 0;
+  maybe_write_checkpoint(scope, out, 1, dataset_dig, layout_dig, min_count,
+                         static_cast<std::uint32_t>(params.max_itemset_size));
+
+  std::size_t k = 2;
+  try {
+  for (;; ++k) {
     if (params.max_itemset_size && k > params.max_itemset_size) break;
+    scope.check("hybrid-level", device.ledger().total_ns() / 1e6);
     obs::ScopedSpan level_span(obs::SpanKind::kMineLevel, "hybrid-level");
     host.restart();
     std::size_t ncand = 0;
@@ -128,9 +143,14 @@ miners::MiningOutput HybridApriori::mine(const fim::TransactionDb& db,
     double cpu_ms = 0;
     if (cpu_cands > 0) {
       miners::StopWatch cpu_watch;
-      for (std::size_t c = gpu_cands; c < ncand; ++c)
+      for (std::size_t c = gpu_cands; c < ncand; ++c) {
+        // The host share can be the level's long pole; honour cancellation
+        // at the same granularity as the device's chunk dispatch.
+        if ((c & 0x3ff) == 0)
+          scope.check("hybrid-cpu-share", device.ledger().total_ns() / 1e6);
         supports[c] = store.and_popcount(
             std::span<const std::uint32_t>(flat).subspan(c * k, k));
+      }
       cpu_ms = cpu_watch.elapsed_ms();
     }
 
@@ -190,7 +210,15 @@ miners::MiningOutput HybridApriori::mine(const fim::TransactionDb& db,
       metrics.record_level(k, lm);
     }
 
+    scope.level_completed(k, device.ledger().total_ns() / 1e6);
+    maybe_write_checkpoint(scope, out, k, dataset_dig, layout_dig, min_count,
+                           static_cast<std::uint32_t>(params.max_itemset_size));
+
     if (trie.level_size(k) == 0) break;
+  }
+  } catch (const gpusim::CancelledError& e) {
+    // Salvage completed levels; the static bitset arena dies with `device`.
+    mark_truncated(out, k, e.cause());
   }
 
   out.itemsets.canonicalize();

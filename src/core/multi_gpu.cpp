@@ -5,6 +5,7 @@
 
 #include "baselines/apriori_util.hpp"
 #include "core/candidate_trie.hpp"
+#include "core/run_control.hpp"
 #include "core/support_kernel.hpp"
 #include "fim/bitset_ops.hpp"
 #include "obs/obs.hpp"
@@ -27,6 +28,12 @@ miners::MiningOutput MultiGpuApriori::mine(const fim::TransactionDb& db,
   miners::MiningOutput out;
   const fim::Support min_count = params.resolve_min_count(db.num_transactions());
   reports_.clear();
+
+  RunScope scope(cfg_.run_control);
+  const bool snapshotting =
+      scope.control() != nullptr && scope.control()->want_checkpoint();
+  const std::uint64_t dataset_dig =
+      snapshotting ? fim::dataset_digest(db) : 0;
 
   miners::StopWatch host;
   miners::Preprocessed pre =
@@ -56,6 +63,7 @@ miners::MiningOutput MultiGpuApriori::mine(const fim::TransactionDb& db,
   dopts.executor.sample_stride = cfg_.sample_stride;
   dopts.executor.host_threads = cfg_.host_threads;
   dopts.executor.native = cfg_.native;
+  dopts.executor.cancel = scope.cancel_token();
   dopts.record_launches = false;
   std::vector<std::unique_ptr<gpusim::Device>> devices;
   std::vector<gpusim::DevicePtr<std::uint32_t>> d_bitsets;
@@ -71,8 +79,21 @@ miners::MiningOutput MultiGpuApriori::mine(const fim::TransactionDb& db,
   }
   out.device_ms += setup_ns / 1e6;
 
-  for (std::size_t k = 2;; ++k) {
+  const std::uint64_t layout_dig = snapshotting ? layout_digest(pre) : 0;
+  maybe_write_checkpoint(scope, out, 1, dataset_dig, layout_dig, min_count,
+                         static_cast<std::uint32_t>(params.max_itemset_size));
+
+  auto device_ms_used = [&] {
+    double total = 0;
+    for (const auto& dev : devices) total += dev->ledger().total_ns() / 1e6;
+    return total;
+  };
+
+  std::size_t k = 2;
+  try {
+  for (;; ++k) {
     if (params.max_itemset_size && k > params.max_itemset_size) break;
+    scope.check("multi-gpu-level", device_ms_used());
     obs::ScopedSpan level_span(obs::SpanKind::kMineLevel, "multi-gpu-level");
     host.restart();
     std::size_t ncand = 0;
@@ -182,7 +203,15 @@ miners::MiningOutput MultiGpuApriori::mine(const fim::TransactionDb& db,
       metrics.record_level(k, lm);
     }
 
+    scope.level_completed(k, device_ms_used());
+    maybe_write_checkpoint(scope, out, k, dataset_dig, layout_dig, min_count,
+                           static_cast<std::uint32_t>(params.max_itemset_size));
+
     if (trie.level_size(k) == 0) break;
+  }
+  } catch (const gpusim::CancelledError& e) {
+    // Salvage completed levels; the replicated arenas die with `devices`.
+    mark_truncated(out, k, e.cause());
   }
 
   out.itemsets.canonicalize();

@@ -5,6 +5,7 @@
 
 #include "baselines/apriori_util.hpp"
 #include "core/candidate_trie.hpp"
+#include "core/run_control.hpp"
 #include "core/support_kernel.hpp"
 #include "fim/bitset_ops.hpp"
 #include "obs/obs.hpp"
@@ -24,6 +25,12 @@ miners::MiningOutput PartitionedGpApriori::mine(
   miners::MiningOutput out;
   const fim::Support min_count = params.resolve_min_count(db.num_transactions());
   ledger_.reset();
+
+  RunScope scope(cfg_.run_control);
+  const bool snapshotting =
+      scope.control() != nullptr && scope.control()->want_checkpoint();
+  const std::uint64_t dataset_dig =
+      snapshotting ? fim::dataset_digest(db) : 0;
 
   miners::StopWatch host;
   miners::Preprocessed pre =
@@ -87,6 +94,7 @@ miners::MiningOutput PartitionedGpApriori::mine(
   dopts.executor.sample_stride = cfg_.sample_stride;
   dopts.executor.host_threads = cfg_.host_threads;
   dopts.executor.native = cfg_.native;
+  dopts.executor.cancel = scope.cancel_token();
   dopts.record_launches = false;
   dopts.fault_plan = cfg_.fault_plan;
   gpusim::Device device(cfg_.device, dopts);
@@ -98,8 +106,15 @@ miners::MiningOutput PartitionedGpApriori::mine(
   auto d_bits = device.alloc<std::uint32_t>(max_slice_words,
                                             fim::BitsetStore::kAlignBytes);
 
-  for (std::size_t k = 2;; ++k) {
+  const std::uint64_t layout_dig = snapshotting ? layout_digest(pre) : 0;
+  maybe_write_checkpoint(scope, out, 1, dataset_dig, layout_dig, min_count,
+                         static_cast<std::uint32_t>(params.max_itemset_size));
+
+  std::size_t k = 2;
+  try {
+  for (;; ++k) {
     if (params.max_itemset_size && k > params.max_itemset_size) break;
+    scope.check("partitioned-level", device.ledger().total_ns() / 1e6);
     obs::ScopedSpan level_span(obs::SpanKind::kMineLevel, "partitioned-level");
     host.restart();
     std::size_t ncand = 0;
@@ -191,7 +206,16 @@ miners::MiningOutput PartitionedGpApriori::mine(
       metrics.record_level(k, lm);
     }
 
+    scope.level_completed(k, device.ledger().total_ns() / 1e6);
+    maybe_write_checkpoint(scope, out, k, dataset_dig, layout_dig, min_count,
+                           static_cast<std::uint32_t>(params.max_itemset_size));
+
     if (trie.level_size(k) == 0) break;
+  }
+  } catch (const gpusim::CancelledError& e) {
+    // Salvage the completed levels; level k never finished counting. Any
+    // device buffers still live die with `device` below.
+    mark_truncated(out, k, e.cause());
   }
 
   ledger_ = device.ledger();

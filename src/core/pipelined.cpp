@@ -5,6 +5,7 @@
 
 #include "baselines/apriori_util.hpp"
 #include "core/candidate_trie.hpp"
+#include "core/run_control.hpp"
 #include "core/support_kernel.hpp"
 #include "fim/bitset_ops.hpp"
 #include "obs/obs.hpp"
@@ -26,6 +27,12 @@ miners::MiningOutput PipelinedGpApriori::mine(
   miners::MiningOutput out;
   const fim::Support min_count = params.resolve_min_count(db.num_transactions());
   ledger_.reset();
+
+  RunScope scope(cfg_.run_control);
+  const bool snapshotting =
+      scope.control() != nullptr && scope.control()->want_checkpoint();
+  const std::uint64_t dataset_dig =
+      snapshotting ? fim::dataset_digest(db) : 0;
 
   miners::StopWatch host;
   miners::Preprocessed pre =
@@ -51,14 +58,22 @@ miners::MiningOutput PipelinedGpApriori::mine(
   dopts.executor.sample_stride = cfg_.sample_stride;
   dopts.executor.host_threads = cfg_.host_threads;
   dopts.executor.native = cfg_.native;
+  dopts.executor.cancel = scope.cancel_token();
   dopts.record_launches = false;
   gpusim::Device device(cfg_.device, dopts);
   auto d_bitsets = device.alloc<std::uint32_t>(store.arena().size(),
                                                fim::BitsetStore::kAlignBytes);
   device.copy_to_device(d_bitsets, store.arena());
 
-  for (std::size_t k = 2;; ++k) {
+  const std::uint64_t layout_dig = snapshotting ? layout_digest(pre) : 0;
+  maybe_write_checkpoint(scope, out, 1, dataset_dig, layout_dig, min_count,
+                         static_cast<std::uint32_t>(params.max_itemset_size));
+
+  std::size_t k = 2;
+  try {
+  for (;; ++k) {
     if (params.max_itemset_size && k > params.max_itemset_size) break;
+    scope.check("pipelined-level", device.ledger().total_ns() / 1e6);
     obs::ScopedSpan level_span(obs::SpanKind::kMineLevel, "pipelined-level");
     host.restart();
     std::size_t ncand = 0;
@@ -180,7 +195,16 @@ miners::MiningOutput PipelinedGpApriori::mine(
       metrics.record_level(k, lm);
     }
 
+    scope.level_completed(k, device.ledger().total_ns() / 1e6);
+    maybe_write_checkpoint(scope, out, k, dataset_dig, layout_dig, min_count,
+                           static_cast<std::uint32_t>(params.max_itemset_size));
+
     if (trie.level_size(k) == 0) break;
+  }
+  } catch (const gpusim::CancelledError& e) {
+    // The async pipeline issues work through the same executor, so a
+    // cancelled launch drains deterministically; completed levels survive.
+    mark_truncated(out, k, e.cause());
   }
 
   ledger_ = device.ledger();

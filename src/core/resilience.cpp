@@ -33,7 +33,9 @@ std::string ResilienceReport::summary() const {
   os << "resilience: degraded_to=" << to_string(degraded_to)
      << " retries=" << retries
      << " corruption_detected=" << corruption_detected
-     << " retransfers=" << retransfers << " backoff_ms=" << backoff_ms
+     << " retransfers=" << retransfers
+     << " fault_budget_exhausted=" << (fault_budget_exhausted ? "yes" : "no")
+     << " backoff_ms=" << backoff_ms
      << " time_lost_ms=" << time_lost_ms << " faults_injected(oom="
      << device_faults.injected_oom
      << ", transfer=" << device_faults.injected_transfer_fail

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "gpusim/cancel.hpp"
 #include "gpusim/device_context.hpp"
 #include "gpusim/error.hpp"
 
@@ -37,6 +38,13 @@ struct RetryPolicy {
   std::uint32_t max_retries = 3;
   double backoff_initial_ms = 1.0;
   double backoff_multiplier = 2.0;
+  /// Run-level fault budget: once the CUMULATIVE simulated backoff of a
+  /// run reaches this, faults stop being retried (the pending error
+  /// propagates and the degradation ladder takes over). Per-call retry
+  /// caps alone cannot stop a hostile fault plan from compounding a few
+  /// milliseconds of backoff across thousands of calls into an unbounded
+  /// simulated stall. 0 = unlimited.
+  double max_total_backoff_ms = 10'000.0;
 };
 
 /// How far down the ladder a mining run had to go.
@@ -59,6 +67,10 @@ struct ResilienceReport {
   /// Re-transfers issued to repair detected corruption.
   std::uint64_t retransfers = 0;
   DegradationStep degraded_to = DegradationStep::kNone;
+  /// The run-level fault budget (RetryPolicy::max_total_backoff_ms) was
+  /// exhausted: at least one retryable fault was NOT retried because the
+  /// run's cumulative simulated backoff had hit the cap.
+  bool fault_budget_exhausted = false;
   /// Human-readable log of faults handled and ladder steps taken.
   std::vector<std::string> events;
   /// Simulated retry backoff time.
@@ -88,6 +100,11 @@ class FaultAwareDevice {
 
   [[nodiscard]] gpusim::Device& device() { return dev_; }
   [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+
+  /// Cooperative cancellation: when set, every retry decision first checks
+  /// the token, so a watchdog/deadline trip breaks out of a retry loop a
+  /// hostile fault plan would otherwise keep alive. Unowned, may be null.
+  void set_cancel_token(const gpusim::CancelToken* token) { cancel_ = token; }
 
   /// Allocation is not retried: OOM is never transient (the arena will
   /// not shrink) — callers degrade instead.
@@ -122,7 +139,22 @@ class FaultAwareDevice {
       try {
         return f();
       } catch (const gpusim::SimError& e) {
+        // A cancelled run never retries: the watchdog/deadline may have
+        // tripped precisely because this loop was stuck (a sticky fault
+        // plan), so the token outranks retryability.
+        gpusim::throw_if_cancelled(cancel_, what);
         if (!e.retryable() || attempt >= policy_.max_retries) throw;
+        if (policy_.max_total_backoff_ms > 0 &&
+            report_.backoff_ms + backoff > policy_.max_total_backoff_ms) {
+          if (!report_.fault_budget_exhausted) {
+            report_.fault_budget_exhausted = true;
+            report_.push_event(
+                std::string(what) + ": run fault budget exhausted (" +
+                std::to_string(policy_.max_total_backoff_ms) +
+                " ms cumulative backoff) — fault not retried");
+          }
+          throw;
+        }
         report_.retries += 1;
         report_.backoff_ms += backoff;
         obs::MetricsRegistry::global().add(obs::Counter::kRetries, 1);
@@ -146,6 +178,7 @@ class FaultAwareDevice {
   gpusim::Device& dev_;
   RetryPolicy policy_;
   ResilienceReport& report_;
+  const gpusim::CancelToken* cancel_ = nullptr;
 };
 
 /// RAII device allocation: frees on scope exit, so a thrown fault mid-level

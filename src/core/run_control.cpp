@@ -1,0 +1,211 @@
+#include "core/run_control.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/obs.hpp"
+
+namespace gpapriori {
+namespace {
+
+/// Strictly-parsed positive double from the environment; 0 when unset,
+/// malformed, or non-positive (same tolerance as the other GPAPRIORI_*
+/// variables: garbage is ignored, not fatal).
+double env_deadline_ms() {
+  const char* env = std::getenv("GPAPRIORI_DEADLINE_MS");
+  if (env == nullptr || *env == '\0') return 0;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (errno != 0 || end == env || *end != '\0' || !(v > 0)) return 0;
+  return v;
+}
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+RunControl::RunControl(RunControlOptions opts) : opts_(std::move(opts)) {
+  deadline_ms_ = opts_.deadline_ms > 0 ? opts_.deadline_ms : env_deadline_ms();
+  start_ = std::chrono::steady_clock::now();
+}
+
+RunControl::~RunControl() { end_run(); }
+
+double RunControl::elapsed_ms() const {
+  return ms_between(start_, std::chrono::steady_clock::now());
+}
+
+bool RunControl::begin_run() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return false;
+  start_ = std::chrono::steady_clock::now();
+  if (opts_.watchdog_ms <= 0 && deadline_ms_ <= 0) return true;
+
+  // Monitor thread: wakes every few milliseconds, trips the token on a
+  // stalled heartbeat or an expired wall deadline, then exits. It is the
+  // only way a deadline fires while the mining thread is wedged inside a
+  // retry loop that never reaches a poll point.
+  watchdog_ = std::jthread([this](std::stop_token st) {
+    double tick_ms = 5;
+    if (opts_.watchdog_ms > 0) tick_ms = std::min(tick_ms, opts_.watchdog_ms / 4);
+    if (tick_ms < 0.5) tick_ms = 0.5;
+    const auto tick = std::chrono::duration<double, std::milli>(tick_ms);
+
+    std::mutex m;
+    std::condition_variable_any cv;
+    std::uint64_t last_progress = token_.progress();
+    auto last_change = std::chrono::steady_clock::now();
+
+    std::unique_lock lk(m);
+    while (!st.stop_requested()) {
+      cv.wait_for(lk, st, tick, [] { return false; });
+      if (st.stop_requested()) return;
+      if (token_.cancelled()) {
+        report_cancelled();
+        return;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (deadline_ms_ > 0 && ms_between(start_, now) > deadline_ms_) {
+        if (token_.request(gpusim::CancelCause::kDeadline)) report_cancelled();
+        return;
+      }
+      const std::uint64_t p = token_.progress();
+      if (p != last_progress) {
+        last_progress = p;
+        last_change = now;
+      } else if (opts_.watchdog_ms > 0 &&
+                 ms_between(last_change, now) > opts_.watchdog_ms) {
+        if (token_.request(gpusim::CancelCause::kWatchdog)) report_cancelled();
+        return;
+      }
+    }
+  });
+  return true;
+}
+
+void RunControl::end_run() {
+  running_.store(false, std::memory_order_release);
+  if (watchdog_.joinable()) {
+    watchdog_.request_stop();
+    watchdog_.join();
+  }
+}
+
+void RunControl::reset() {
+  end_run();
+  token_.reset();
+  reported_.store(false, std::memory_order_relaxed);
+  start_ = std::chrono::steady_clock::now();
+}
+
+void RunControl::poll(double device_ms_used) {
+  if (token_.cancelled()) {
+    report_cancelled();
+    return;
+  }
+  if (deadline_ms_ > 0 && elapsed_ms() > deadline_ms_) {
+    if (token_.request(gpusim::CancelCause::kDeadline)) report_cancelled();
+    return;
+  }
+  if (opts_.device_budget_ms > 0 && device_ms_used > opts_.device_budget_ms) {
+    if (token_.request(gpusim::CancelCause::kDeviceBudget)) report_cancelled();
+  }
+}
+
+void RunControl::level_completed(std::size_t level, double device_ms_used) {
+  token_.heartbeat();
+  if (opts_.cancel_after_level != 0 && level >= opts_.cancel_after_level)
+    token_.request(gpusim::CancelCause::kUser);
+  poll(device_ms_used);
+}
+
+void RunControl::note_checkpoint(std::size_t level, std::size_t bytes) {
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add(obs::Counter::kCheckpointsWritten, 1);
+  metrics.add(obs::Counter::kCheckpointBytes, bytes);
+  auto& rec = obs::TraceRecorder::global();
+  if (rec.enabled()) {
+    const obs::SpanArg args[] = {{"level", static_cast<double>(level)},
+                                 {"bytes", static_cast<double>(bytes)}};
+    rec.instant(obs::SpanKind::kLifecycle, "checkpoint", args, 2);
+  }
+}
+
+void RunControl::report_cancelled() {
+  if (reported_.exchange(true, std::memory_order_acq_rel)) return;
+  const gpusim::CancelCause c = token_.cause();
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add(obs::Counter::kCancellations, 1);
+  if (c == gpusim::CancelCause::kWatchdog)
+    metrics.add(obs::Counter::kWatchdogTrips, 1);
+  auto& rec = obs::TraceRecorder::global();
+  if (rec.enabled())
+    rec.instant(obs::SpanKind::kLifecycle,
+                std::string("cancel:") + gpusim::to_string(c));
+}
+
+RunScope::RunScope(RunControl* rc) : rc_(rc) {
+  // No controller supplied: honor GPAPRIORI_DEADLINE_MS so every driver is
+  // deadline-capable from the environment alone; otherwise stay inert
+  // (null token — the executor fast path sees nullptr).
+  if (rc_ == nullptr && env_deadline_ms() > 0) rc_ = &local_.emplace();
+  if (rc_ != nullptr) began_ = rc_->begin_run();
+}
+
+RunScope::~RunScope() {
+  if (began_) rc_->end_run();
+}
+
+void maybe_write_checkpoint(RunScope& scope, const miners::MiningOutput& out,
+                            std::size_t completed_level,
+                            std::uint64_t dataset_digest,
+                            std::uint64_t layout_digest,
+                            std::uint64_t min_count,
+                            std::uint32_t max_itemset_size) {
+  RunControl* rc = scope.control();
+  if (rc == nullptr || !rc->want_checkpoint()) return;
+  fim::MiningCheckpoint cp;
+  cp.dataset_digest = dataset_digest;
+  cp.layout_digest = layout_digest;
+  cp.min_count = min_count;
+  cp.max_itemset_size = max_itemset_size;
+  cp.completed_level = static_cast<std::uint32_t>(completed_level);
+  cp.levels.reserve(out.levels.size());
+  for (const miners::LevelStats& lv : out.levels)
+    cp.levels.push_back({static_cast<std::uint32_t>(lv.level), lv.candidates,
+                         lv.frequent, lv.host_ms, lv.device_ms});
+  cp.itemsets = out.itemsets;
+  cp.write(rc->options().checkpoint_path);
+  rc->note_checkpoint(completed_level, cp.byte_size());
+}
+
+std::uint64_t layout_digest(const miners::Preprocessed& pre) {
+  std::uint64_t h = fim::kFnvOffset;
+  const std::uint64_t n = pre.original_item.size();
+  h = fim::fnv1a_bytes(&n, sizeof(n), h);
+  h = fim::fnv1a_bytes(pre.original_item.data(),
+                       pre.original_item.size() * sizeof(fim::Item), h);
+  h = fim::fnv1a_bytes(pre.support.data(),
+                       pre.support.size() * sizeof(fim::Support), h);
+  return h;
+}
+
+void mark_truncated(miners::MiningOutput& out, std::size_t level,
+                    gpusim::CancelCause cause) {
+  out.truncated_at_level = level;
+  out.stop_reason = gpusim::to_string(cause);
+  auto& rec = obs::TraceRecorder::global();
+  if (rec.enabled()) {
+    const obs::SpanArg args[] = {{"level", static_cast<double>(level)}};
+    rec.instant(obs::SpanKind::kLifecycle,
+                std::string("salvaged:") + gpusim::to_string(cause), args, 1);
+  }
+}
+
+}  // namespace gpapriori

@@ -1,0 +1,114 @@
+#pragma once
+// Cooperative cancellation for the SIMT simulator.
+//
+// A CancelToken is the one-word contract between whoever decides a run must
+// stop (a deadline, a device-time budget, a hang watchdog, a SIGINT
+// handler) and the code actually doing the work (the executor's worker
+// pool, the resilience retry loop, the mining drivers). Requesting
+// cancellation is lock-free and async-signal-safe: one compare-exchange on
+// a lock-free atomic, no allocation, no locks — exactly what a signal
+// handler is allowed to do. The FIRST cause to request wins; later requests
+// are ignored so the recorded cause is deterministic.
+//
+// The token also carries a progress heartbeat: the executor bumps it after
+// every completed block chunk and drivers bump it at level boundaries, so a
+// watchdog can distinguish "slow but alive" from "stuck" (e.g. a fault plan
+// that makes every retry fail) without instrumenting any hot path — the
+// heartbeat is one relaxed atomic increment per chunk, not per block.
+//
+// Workers never stop mid-block: cancellation is checked at chunk-dispatch
+// granularity, so every block either ran completely or not at all and the
+// pool drains deterministically. Once run_kernel observes a cancelled
+// token it throws CancelledError; drivers catch it at a level boundary and
+// salvage all fully-completed levels (core/run_control.hpp).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "gpusim/error.hpp"
+
+namespace gpusim {
+
+/// Why a run was cancelled. kNone means "not cancelled".
+enum class CancelCause : std::uint8_t {
+  kNone = 0,
+  kUser,          ///< explicit request (SIGINT/SIGTERM, API call)
+  kDeadline,      ///< wall-clock deadline expired
+  kDeviceBudget,  ///< simulated device-time budget exhausted
+  kWatchdog,      ///< hang watchdog: no progress within its window
+};
+
+[[nodiscard]] constexpr const char* to_string(CancelCause cause) {
+  switch (cause) {
+    case CancelCause::kNone: return "none";
+    case CancelCause::kUser: return "user-cancel";
+    case CancelCause::kDeadline: return "deadline";
+    case CancelCause::kDeviceBudget: return "device-budget";
+    case CancelCause::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
+class CancelToken {
+ public:
+  /// Requests cancellation with `cause`. The first cause wins; returns true
+  /// iff THIS call tripped the token. Async-signal-safe (lock-free CAS).
+  bool request(CancelCause cause) {
+    std::uint8_t expected = 0;
+    return cause != CancelCause::kNone &&
+           cause_.compare_exchange_strong(expected,
+                                          static_cast<std::uint8_t>(cause),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    return cause_.load(std::memory_order_acquire) != 0;
+  }
+  [[nodiscard]] CancelCause cause() const {
+    return static_cast<CancelCause>(cause_.load(std::memory_order_acquire));
+  }
+
+  /// Progress heartbeat: bumped by the executor per completed block chunk
+  /// and by drivers per completed level; watched by the hang watchdog.
+  void heartbeat() { progress_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the token for a fresh run (not thread-safe against concurrent
+  /// request/heartbeat — call between runs only).
+  void reset() {
+    cause_.store(0, std::memory_order_release);
+    progress_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint8_t> cause_{0};
+  std::atomic<std::uint64_t> progress_{0};
+};
+
+/// Thrown when an operation observes a cancelled token. Never retryable —
+/// the run is over; the driver's job is to salvage completed levels, not to
+/// hop the degradation ladder.
+class CancelledError : public SimError {
+ public:
+  explicit CancelledError(CancelCause cause, const std::string& where)
+      : SimError("cancelled (" + std::string(to_string(cause)) + ") in " +
+                 where),
+        cause_(cause) {}
+  [[nodiscard]] CancelCause cause() const { return cause_; }
+
+ private:
+  CancelCause cause_;
+};
+
+/// Convenience guard for cooperative check points.
+inline void throw_if_cancelled(const CancelToken* token,
+                               const std::string& where) {
+  if (token != nullptr && token->cancelled())
+    throw CancelledError(token->cause(), where);
+}
+
+}  // namespace gpusim

@@ -404,9 +404,14 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
         num_blocks * c / num_chunks, num_blocks * (c + 1) / num_chunks};
   };
 
+  CancelToken* const cancel = opts.cancel;
   const auto work = [&](std::uint32_t) {
     WorkerScratch scratch(shared_bytes, tpb);
     for (;;) {
+      // Cancellation is observed here, at chunk-dispatch granularity: a
+      // worker never abandons a block mid-flight, so every block either ran
+      // completely or not at all and the pool drains deterministically.
+      if (cancel != nullptr && cancel->cancelled()) break;
       const std::uint64_t c =
           next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks || failed.load(std::memory_order_relaxed)) break;
@@ -414,6 +419,7 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
         const auto [lo, hi] = chunk_range(c);
         obs::ScopedSpan span(obs::SpanKind::kDispatch, "block-chunk");
         run_block_range(job, lo, hi, chunks[c], scratch);
+        if (cancel != nullptr) cancel->heartbeat();
         if (span.active()) {
           span.add_arg("first_block", static_cast<double>(lo));
           span.add_arg("num_blocks", static_cast<double>(hi - lo));
@@ -428,6 +434,13 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
   };
 
   HostPool::instance().run(workers, work);
+
+  // Cancellation wins over chunk errors: the run is being torn down for an
+  // external reason (deadline, watchdog, signal) and must abort cleanly
+  // instead of entering the resilience ladder. Device memory touched by
+  // completed chunks is unspecified — the driver discards the level.
+  throw_if_cancelled(cancel, std::string("run_kernel(") +
+                                 std::string(kernel.name()) + ")");
 
   // Fail deterministically: the error of the lowest failing block range
   // wins, matching what strictly sequential execution would have thrown

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "gpusim/cancel.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/kernel.hpp"
 #include "gpusim/memory.hpp"
@@ -47,6 +48,13 @@ struct ExecutorOptions {
   /// Overridable at runtime: a non-empty GPAPRIORI_NO_NATIVE != "0"
   /// disables the tier even when this is true.
   bool native = true;
+  /// Cooperative cancellation (gpusim/cancel.hpp). When set, workers check
+  /// the token at chunk-dispatch granularity — a cancelled launch stops
+  /// claiming new chunks, drains the in-flight ones deterministically, and
+  /// run_kernel throws CancelledError. Each completed chunk bumps the
+  /// token's progress heartbeat for the hang watchdog. Null = never
+  /// cancelled, zero overhead.
+  CancelToken* cancel = nullptr;
 };
 
 /// The worker count run_kernel will actually use for these options

@@ -30,6 +30,10 @@ const char* to_string(Counter c) {
     case Counter::kFaultsInjected: return "faults_injected";
     case Counter::kDeviceAllocs: return "device_allocs";
     case Counter::kDeviceMemPeakBytes: return "device_mem_peak_bytes";
+    case Counter::kCancellations: return "cancellations";
+    case Counter::kWatchdogTrips: return "watchdog_trips";
+    case Counter::kCheckpointsWritten: return "checkpoints_written";
+    case Counter::kCheckpointBytes: return "checkpoint_bytes";
     case Counter::kCount: break;
   }
   return "?";

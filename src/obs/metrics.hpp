@@ -50,6 +50,10 @@ enum class Counter : std::size_t {
   kFaultsInjected,      ///< faults fired by FaultInjector
   kDeviceAllocs,
   kDeviceMemPeakBytes,  ///< high-water of GlobalMemory bytes in use (max)
+  kCancellations,       ///< cancellation requests observed by run control
+  kWatchdogTrips,       ///< hang-watchdog activations
+  kCheckpointsWritten,  ///< level checkpoints persisted to disk
+  kCheckpointBytes,     ///< cumulative bytes of checkpoint snapshots
   kCount,
 };
 

@@ -66,6 +66,7 @@ const char* to_category(SpanKind kind) {
     case SpanKind::kLadderHop: return "ladder";
     case SpanKind::kDispatch: return "dispatch";
     case SpanKind::kFault: return "fault";
+    case SpanKind::kLifecycle: return "lifecycle";
     case SpanKind::kOther: return "other";
   }
   return "other";

@@ -42,6 +42,7 @@ enum class SpanKind : std::uint8_t {
   kLadderHop,     ///< degradation-ladder transition (instant event)
   kDispatch,      ///< executor worker chunk (native vs interpreted blocks)
   kFault,         ///< injected fault / retry / corruption event
+  kLifecycle,     ///< run-control event: cancel, deadline, watchdog, checkpoint
   kOther,
 };
 

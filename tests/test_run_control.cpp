@@ -1,0 +1,592 @@
+// Run lifecycle control acceptance drills (DESIGN.md §11): cooperative
+// cancellation salvages exactly the completed levels, checkpoint + resume
+// is bit-identical to an uninterrupted run — across thread counts, both
+// executor tiers, and under an active fault plan — the watchdog frees a
+// run stuck in a hostile retry loop, and a deadline expiring mid-ladder
+// aborts cleanly instead of hopping tiers.
+
+#include "core/run_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/gpapriori_all.hpp"
+#include "fim/checkpoint.hpp"
+#include "fim/fimi_io.hpp"
+#include "gpusim/cancel.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace gpapriori;
+
+fim::TransactionDb drill_db() { return testutil::random_db(200, 12, 0.45, 91); }
+
+miners::MiningParams drill_params() {
+  miners::MiningParams p;
+  p.min_support_abs = 20;
+  return p;
+}
+
+/// A writable scratch path unique to this test binary.
+std::string scratch_path(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir && *dir ? dir : "/tmp") + "/gpa_rc_" + name;
+}
+
+/// The truncated run's levels must be a prefix of the full run's, equal in
+/// the deterministic fields (host_ms is wall clock and may differ).
+void expect_level_prefix(const miners::MiningOutput& full,
+                         const miners::MiningOutput& part) {
+  ASSERT_LE(part.levels.size(), full.levels.size());
+  for (std::size_t i = 0; i < part.levels.size(); ++i) {
+    EXPECT_EQ(part.levels[i].level, full.levels[i].level);
+    EXPECT_EQ(part.levels[i].candidates, full.levels[i].candidates);
+    EXPECT_EQ(part.levels[i].frequent, full.levels[i].frequent);
+    EXPECT_DOUBLE_EQ(part.levels[i].device_ms, full.levels[i].device_ms);
+  }
+}
+
+/// Bit-identical check for the acceptance criterion: the canonical text
+/// rendering (every itemset with its support, sorted) and the per-level
+/// deterministic stats must match exactly.
+void expect_bit_identical(const miners::MiningOutput& a,
+                          const miners::MiningOutput& b) {
+  EXPECT_EQ(a.itemsets.to_string(), b.itemsets.to_string());
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (std::size_t i = 0; i < a.levels.size(); ++i) {
+    EXPECT_EQ(a.levels[i].level, b.levels[i].level);
+    EXPECT_EQ(a.levels[i].candidates, b.levels[i].candidates);
+    EXPECT_EQ(a.levels[i].frequent, b.levels[i].frequent);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CancelToken unit behaviour.
+
+TEST(CancelToken, FirstCauseWins) {
+  gpusim::CancelToken t;
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_EQ(t.cause(), gpusim::CancelCause::kNone);
+  EXPECT_TRUE(t.request(gpusim::CancelCause::kDeadline));
+  EXPECT_TRUE(t.cancelled());
+  // A later cause does not overwrite the first.
+  EXPECT_FALSE(t.request(gpusim::CancelCause::kWatchdog));
+  EXPECT_EQ(t.cause(), gpusim::CancelCause::kDeadline);
+  t.reset();
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_EQ(t.cause(), gpusim::CancelCause::kNone);
+}
+
+TEST(CancelToken, HeartbeatAdvancesProgress) {
+  gpusim::CancelToken t;
+  const auto p0 = t.progress();
+  t.heartbeat();
+  t.heartbeat();
+  EXPECT_EQ(t.progress(), p0 + 2);
+}
+
+TEST(CancelToken, CauseStrings) {
+  EXPECT_STREQ(gpusim::to_string(gpusim::CancelCause::kUser), "user-cancel");
+  EXPECT_STREQ(gpusim::to_string(gpusim::CancelCause::kDeadline), "deadline");
+  EXPECT_STREQ(gpusim::to_string(gpusim::CancelCause::kDeviceBudget),
+               "device-budget");
+  EXPECT_STREQ(gpusim::to_string(gpusim::CancelCause::kWatchdog), "watchdog");
+}
+
+TEST(CancelToken, ThrowIfCancelledCarriesCauseAndIsNotRetryable) {
+  gpusim::CancelToken t;
+  gpusim::throw_if_cancelled(&t, "nowhere");  // not tripped: no throw
+  gpusim::throw_if_cancelled(nullptr, "nowhere");
+  t.request(gpusim::CancelCause::kWatchdog);
+  try {
+    gpusim::throw_if_cancelled(&t, "drill");
+    FAIL() << "expected CancelledError";
+  } catch (const gpusim::CancelledError& e) {
+    EXPECT_EQ(e.cause(), gpusim::CancelCause::kWatchdog);
+    EXPECT_FALSE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("drill"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cancel-at-level salvage.
+
+TEST(RunControl, CancelAfterLevelSalvagesCompletedLevels) {
+  const auto db = drill_db();
+  const auto params = drill_params();
+  const auto full = GpApriori().mine(db, params);
+  ASSERT_GE(full.levels.size(), 4u) << "drill db too shallow";
+
+  RunControlOptions rco;
+  rco.cancel_after_level = 2;
+  RunControl run(rco);
+  Config cfg;
+  cfg.run_control = &run;
+  const auto part = GpApriori(cfg).mine(db, params);
+
+  EXPECT_TRUE(part.truncated());
+  EXPECT_EQ(part.truncated_at_level, 3u);
+  EXPECT_EQ(part.stop_reason, "user-cancel");
+  ASSERT_EQ(part.levels.size(), 2u);
+  expect_level_prefix(full, part);
+  // Every salvaged itemset appears, with identical support, in the full run.
+  fim::ItemsetCollection full_sets = full.itemsets;
+  full_sets.build_index();
+  for (const auto& e : part.itemsets)
+    EXPECT_EQ(full_sets.support_of(e.items).value_or(0), e.support);
+}
+
+TEST(RunControl, EveryLevelSynchronousDriverSalvages) {
+  const auto db = drill_db();
+  const auto params = drill_params();
+  const auto full = GpApriori().mine(db, params);
+  ASSERT_GE(full.levels.size(), 4u);
+
+  const auto drivers = {std::string("eqclass"), std::string("partitioned"),
+                        std::string("pipelined"), std::string("multi"),
+                        std::string("hybrid"), std::string("cpu")};
+  for (const auto& which : drivers) {
+    RunControlOptions rco;
+    rco.cancel_after_level = 2;
+    RunControl run(rco);
+    Config cfg;
+    cfg.run_control = &run;
+    miners::MiningOutput part;
+    if (which == "eqclass")
+      part = EqClassApriori(cfg).mine(db, params);
+    else if (which == "partitioned")
+      part = PartitionedGpApriori(cfg).mine(db, params);
+    else if (which == "pipelined")
+      part = PipelinedGpApriori(cfg).mine(db, params);
+    else if (which == "multi")
+      part = MultiGpuApriori(cfg, 2).mine(db, params);
+    else if (which == "hybrid")
+      part = HybridApriori(cfg, 0.5).mine(db, params);
+    else
+      part = CpuBitsetApriori(&run).mine(db, params);
+    SCOPED_TRACE(which);
+    EXPECT_TRUE(part.truncated());
+    EXPECT_EQ(part.truncated_at_level, 3u);
+    EXPECT_EQ(part.stop_reason, "user-cancel");
+    ASSERT_EQ(part.levels.size(), 2u);
+    EXPECT_EQ(part.levels[1].candidates, full.levels[1].candidates);
+    EXPECT_EQ(part.levels[1].frequent, full.levels[1].frequent);
+  }
+}
+
+TEST(RunControl, DfsEclatSalvagesOnDeadline) {
+  const auto db = drill_db();
+  RunControlOptions rco;
+  rco.deadline_ms = 1e-4;  // expired before the first class extension
+  RunControl run(rco);
+  Config cfg;
+  cfg.run_control = &run;
+  const auto part = GpuEclat(cfg).mine(db, drill_params());
+  EXPECT_TRUE(part.truncated());
+  EXPECT_EQ(part.stop_reason, "deadline");
+  EXPECT_GE(part.truncated_at_level, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint + resume, bit-identical across thread counts and both
+// executor tiers (the tentpole acceptance criterion).
+
+void checkpoint_resume_drill(std::uint32_t host_threads, bool native,
+                             const std::string& fault_plan,
+                             const std::string& tag) {
+  const auto db = drill_db();
+  const auto params = drill_params();
+  const std::string ckpt = scratch_path("resume_" + tag + ".ckpt");
+
+  Config base;
+  base.host_threads = host_threads;
+  base.native = native;
+  if (!fault_plan.empty())
+    base.fault_plan = gpusim::FaultPlan::parse(fault_plan);
+
+  const auto full = GpApriori(base).mine(db, params);
+  ASSERT_GE(full.levels.size(), 4u);
+
+  // Cancel after level 2, writing a checkpoint each level.
+  {
+    RunControlOptions rco;
+    rco.cancel_after_level = 2;
+    rco.checkpoint_path = ckpt;
+    RunControl run(rco);
+    Config cfg = base;
+    cfg.run_control = &run;
+    const auto part = GpApriori(cfg).mine(db, params);
+    ASSERT_TRUE(part.truncated());
+    ASSERT_EQ(part.levels.size(), 2u);
+  }
+
+  // Resume and compare against the uninterrupted run.
+  {
+    RunControlOptions rco;
+    rco.resume_path = ckpt;
+    RunControl run(rco);
+    Config cfg = base;
+    cfg.run_control = &run;
+    const auto resumed = GpApriori(cfg).mine(db, params);
+    EXPECT_FALSE(resumed.truncated());
+    expect_bit_identical(full, resumed);
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(Checkpoint, ResumeBitIdenticalSingleThreadNative) {
+  checkpoint_resume_drill(1, true, "", "t1n");
+}
+
+TEST(Checkpoint, ResumeBitIdenticalTwoThreadsNative) {
+  checkpoint_resume_drill(2, true, "", "t2n");
+}
+
+TEST(Checkpoint, ResumeBitIdenticalHwThreadsNative) {
+  checkpoint_resume_drill(0, true, "", "thwn");
+}
+
+TEST(Checkpoint, ResumeBitIdenticalSingleThreadInterpreted) {
+  checkpoint_resume_drill(1, false, "", "t1i");
+}
+
+TEST(Checkpoint, ResumeBitIdenticalHwThreadsInterpreted) {
+  checkpoint_resume_drill(0, false, "", "thwi");
+}
+
+TEST(Checkpoint, ResumeBitIdenticalUnderActiveFaultPlan) {
+  // A transient transfer fault is retried during both the checkpointing
+  // and the resumed run; results stay bit-identical to the clean run.
+  checkpoint_resume_drill(2, true, "seed=7;h2d#2=fail", "fault");
+}
+
+TEST(Checkpoint, CpuMinerResumeBitIdentical) {
+  const auto db = drill_db();
+  const auto params = drill_params();
+  const std::string ckpt = scratch_path("cpu_resume.ckpt");
+
+  const auto full = CpuBitsetApriori().mine(db, params);
+  ASSERT_GE(full.levels.size(), 4u);
+  {
+    RunControlOptions rco;
+    rco.cancel_after_level = 2;
+    rco.checkpoint_path = ckpt;
+    RunControl run(rco);
+    const auto part = CpuBitsetApriori(&run).mine(db, params);
+    ASSERT_TRUE(part.truncated());
+  }
+  {
+    RunControlOptions rco;
+    rco.resume_path = ckpt;
+    RunControl run(rco);
+    const auto resumed = CpuBitsetApriori(&run).mine(db, params);
+    EXPECT_FALSE(resumed.truncated());
+    expect_bit_identical(full, resumed);
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(Checkpoint, GpuCheckpointResumesOnCpuMiner) {
+  // Cross-driver: digests and supports are layout-level, so a snapshot
+  // taken by GPApriori resumes bit-exactly in CPU_TEST.
+  const auto db = drill_db();
+  const auto params = drill_params();
+  const std::string ckpt = scratch_path("cross_resume.ckpt");
+  const auto full = CpuBitsetApriori().mine(db, params);
+  {
+    RunControlOptions rco;
+    rco.cancel_after_level = 2;
+    rco.checkpoint_path = ckpt;
+    RunControl run(rco);
+    Config cfg;
+    cfg.run_control = &run;
+    (void)GpApriori(cfg).mine(db, params);
+  }
+  {
+    RunControlOptions rco;
+    rco.resume_path = ckpt;
+    RunControl run(rco);
+    const auto resumed = CpuBitsetApriori(&run).mine(db, params);
+    expect_bit_identical(full, resumed);
+  }
+  std::remove(ckpt.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint integrity.
+
+TEST(Checkpoint, ResumeRejectsDifferentDataset) {
+  const auto params = drill_params();
+  const std::string ckpt = scratch_path("wrong_db.ckpt");
+  {
+    RunControlOptions rco;
+    rco.cancel_after_level = 2;
+    rco.checkpoint_path = ckpt;
+    RunControl run(rco);
+    Config cfg;
+    cfg.run_control = &run;
+    (void)GpApriori(cfg).mine(drill_db(), params);
+  }
+  RunControlOptions rco;
+  rco.resume_path = ckpt;
+  RunControl run(rco);
+  Config cfg;
+  cfg.run_control = &run;
+  const auto other = testutil::random_db(150, 10, 0.5, 12);
+  EXPECT_THROW((void)GpApriori(cfg).mine(other, params), fim::IoError);
+  std::remove(ckpt.c_str());
+}
+
+TEST(Checkpoint, ResumeRejectsDifferentMinCount) {
+  const auto db = drill_db();
+  const std::string ckpt = scratch_path("wrong_sup.ckpt");
+  {
+    RunControlOptions rco;
+    rco.cancel_after_level = 2;
+    rco.checkpoint_path = ckpt;
+    RunControl run(rco);
+    Config cfg;
+    cfg.run_control = &run;
+    (void)GpApriori(cfg).mine(db, drill_params());
+  }
+  RunControlOptions rco;
+  rco.resume_path = ckpt;
+  RunControl run(rco);
+  Config cfg;
+  cfg.run_control = &run;
+  miners::MiningParams p;
+  p.min_support_abs = 40;  // checkpoint was taken at 20
+  EXPECT_THROW((void)GpApriori(cfg).mine(db, p), fim::IoError);
+  std::remove(ckpt.c_str());
+}
+
+TEST(Checkpoint, ReadRejectsBadMagicAndTruncation) {
+  const std::string bad = scratch_path("bad_magic.ckpt");
+  {
+    std::FILE* f = std::fopen(bad.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[16] = "not a snapshot";
+    std::fwrite(junk, 1, sizeof junk, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)fim::MiningCheckpoint::read(bad), fim::IoError);
+  EXPECT_THROW((void)fim::MiningCheckpoint::read(scratch_path("missing")),
+               fim::IoError);
+
+  // Valid header, truncated body.
+  const auto db = drill_db();
+  const std::string ckpt = scratch_path("trunc.ckpt");
+  {
+    RunControlOptions rco;
+    rco.cancel_after_level = 2;
+    rco.checkpoint_path = ckpt;
+    RunControl run(rco);
+    Config cfg;
+    cfg.run_control = &run;
+    (void)GpApriori(cfg).mine(db, drill_params());
+  }
+  const auto cp = fim::MiningCheckpoint::read(ckpt);  // sanity: parses
+  EXPECT_EQ(cp.completed_level, 2u);
+  std::FILE* f = std::fopen(ckpt.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<unsigned char> bytes(cp.byte_size());
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  const std::string cut = scratch_path("cut.ckpt");
+  f = std::fopen(cut.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size() / 2, f);
+  std::fclose(f);
+  EXPECT_THROW((void)fim::MiningCheckpoint::read(cut), fim::IoError);
+  std::remove(bad.c_str());
+  std::remove(ckpt.c_str());
+  std::remove(cut.c_str());
+}
+
+TEST(Checkpoint, WriteRoundTripsAllFields) {
+  const auto db = drill_db();
+  const std::string ckpt = scratch_path("roundtrip.ckpt");
+  {
+    RunControlOptions rco;
+    rco.cancel_after_level = 3;
+    rco.checkpoint_path = ckpt;
+    RunControl run(rco);
+    Config cfg;
+    cfg.run_control = &run;
+    const auto part = GpApriori(cfg).mine(db, drill_params());
+    ASSERT_TRUE(part.truncated());
+    const auto cp = fim::MiningCheckpoint::read(ckpt);
+    EXPECT_EQ(cp.completed_level, 3u);
+    EXPECT_EQ(cp.dataset_digest, fim::dataset_digest(db));
+    EXPECT_EQ(cp.min_count, 20u);
+    ASSERT_EQ(cp.levels.size(), 3u);
+    EXPECT_EQ(cp.levels[0].level, 1u);
+    EXPECT_EQ(cp.itemsets.size(), part.itemsets.size());
+  }
+  std::remove(ckpt.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog, deadline, device budget.
+
+TEST(RunControl, WatchdogFreesRunStuckInRetryLoop) {
+  // A sticky transfer fault plus an effectively unbounded retry policy
+  // would spin forever: every attempt refails, simulated backoff never
+  // sleeps, and the driver never reaches a level-boundary poll. Only the
+  // watchdog (real wall clock, own thread) can break the loop.
+  const auto db = drill_db();
+  RunControlOptions rco;
+  rco.watchdog_ms = 50;
+  RunControl run(rco);
+  Config cfg;
+  cfg.run_control = &run;
+  cfg.fault_plan = gpusim::FaultPlan::parse("h2d#1+=fail");
+  cfg.retry.max_retries = 1u << 30;
+  cfg.retry.max_total_backoff_ms = 0;  // unlimited: the budget must not save us
+  GpApriori miner(cfg);
+  const auto out = miner.mine(db, drill_params());
+  EXPECT_TRUE(out.truncated());
+  EXPECT_EQ(out.stop_reason, "watchdog");
+  EXPECT_EQ(out.truncated_at_level, 2u);
+  // Cancellation salvaged instead of hopping the ladder.
+  EXPECT_EQ(miner.resilience_report().degraded_to, DegradationStep::kNone);
+  ASSERT_EQ(out.levels.size(), 1u);
+  EXPECT_EQ(out.levels[0].level, 1u);
+}
+
+TEST(RunControl, DeadlineMidLadderSalvagesInsteadOfHopping) {
+  // The first rung dies with a genuine OOM; by the time the ladder decides
+  // what to do next the deadline has expired. The run must salvage level 1
+  // and stop — not burn the partitioned and CPU rungs past its budget.
+  const auto db = drill_db();
+  RunControlOptions rco;
+  rco.deadline_ms = 1e-4;
+  RunControl run(rco);
+  Config cfg;
+  cfg.run_control = &run;
+  cfg.fault_plan = gpusim::FaultPlan::parse("alloc#1=oom");
+  GpApriori miner(cfg);
+  const auto out = miner.mine(db, drill_params());
+  EXPECT_TRUE(out.truncated());
+  EXPECT_EQ(out.stop_reason, "deadline");
+  EXPECT_EQ(out.truncated_at_level, 2u);
+  EXPECT_EQ(miner.resilience_report().degraded_to, DegradationStep::kNone);
+  ASSERT_EQ(out.levels.size(), 1u);
+}
+
+TEST(RunControl, DeviceBudgetTripsAfterDeviceWork) {
+  const auto db = drill_db();
+  RunControlOptions rco;
+  rco.device_budget_ms = 1e-9;  // any kernel work exceeds this
+  RunControl run(rco);
+  Config cfg;
+  cfg.run_control = &run;
+  const auto out = GpApriori(cfg).mine(db, drill_params());
+  EXPECT_TRUE(out.truncated());
+  EXPECT_EQ(out.stop_reason, "device-budget");
+  EXPECT_GE(out.levels.size(), 1u);
+}
+
+TEST(RunControl, GenerousLimitsDoNotPerturbTheRun) {
+  const auto db = drill_db();
+  const auto params = drill_params();
+  const auto full = GpApriori().mine(db, params);
+  RunControlOptions rco;
+  rco.deadline_ms = 60'000;
+  rco.watchdog_ms = 60'000;
+  rco.device_budget_ms = 60'000;
+  RunControl run(rco);
+  Config cfg;
+  cfg.run_control = &run;
+  const auto out = GpApriori(cfg).mine(db, params);
+  EXPECT_FALSE(out.truncated());
+  expect_bit_identical(full, out);
+}
+
+TEST(RunControl, EnvDeadlineCancelsWithoutExplicitControl) {
+  const auto db = drill_db();
+  ASSERT_EQ(setenv("GPAPRIORI_DEADLINE_MS", "0.0001", 1), 0);
+  const auto out = GpApriori().mine(db, drill_params());
+  ASSERT_EQ(unsetenv("GPAPRIORI_DEADLINE_MS"), 0);
+  EXPECT_TRUE(out.truncated());
+  EXPECT_EQ(out.stop_reason, "deadline");
+}
+
+TEST(RunControl, ResetRearmsForASecondRun) {
+  const auto db = drill_db();
+  const auto params = drill_params();
+  RunControlOptions rco;
+  rco.cancel_after_level = 2;
+  RunControl run(rco);
+  Config cfg;
+  cfg.run_control = &run;
+  const auto first = GpApriori(cfg).mine(db, params);
+  EXPECT_TRUE(first.truncated());
+  run.reset();
+  const auto second = GpApriori(cfg).mine(db, params);
+  EXPECT_TRUE(second.truncated());  // the drill re-arms too
+  EXPECT_EQ(second.truncated_at_level, 3u);
+}
+
+TEST(RunControl, SignalStyleExternalCancelSalvages) {
+  // Emulates the CLI's SIGINT handler: a foreign thread trips the token
+  // mid-run; the workers drain and the driver salvages.
+  const auto db = testutil::random_db(400, 16, 0.5, 33);
+  RunControl run;
+  Config cfg;
+  cfg.run_control = &run;
+  std::thread killer([&run] { run.request_cancel(); });
+  const auto out = GpApriori(cfg).mine(db, drill_params());
+  killer.join();
+  if (out.truncated()) {  // racy by design: the trip may land after the run
+    EXPECT_EQ(out.stop_reason, "user-cancel");
+    EXPECT_GE(out.truncated_at_level, 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run-level fault budget (ResiliencePolicy satellite).
+
+TEST(FaultBudget, ExhaustionStopsRetriesAndIsReported) {
+  // A sticky transfer fault with a near-zero budget: the first backoff
+  // already exceeds it, so instead of max_retries attempts the error
+  // propagates at once and the ladder (not the retry loop) handles it.
+  const auto db = drill_db();
+  Config cfg;
+  cfg.fault_plan = gpusim::FaultPlan::parse("h2d#1+=fail");
+  cfg.retry.max_retries = 1u << 30;
+  cfg.retry.max_total_backoff_ms = 1e-6;
+  GpApriori miner(cfg);
+  const auto out = miner.mine(db, drill_params());
+  const auto& rep = miner.resilience_report();
+  EXPECT_TRUE(rep.fault_budget_exhausted);
+  EXPECT_EQ(rep.degraded_to, DegradationStep::kCpu);
+  EXPECT_FALSE(out.truncated());
+  // Bit-exact despite the hostile plan: the CPU rung needs no transfers.
+  EXPECT_TRUE(
+      out.itemsets.equivalent_to(CpuBitsetApriori().mine(db, drill_params()).itemsets));
+  EXPECT_NE(rep.summary().find("fault_budget_exhausted=yes"),
+            std::string::npos);
+}
+
+TEST(FaultBudget, GenerousBudgetStillRetriesTransients) {
+  const auto db = drill_db();
+  Config cfg;
+  cfg.fault_plan = gpusim::FaultPlan::parse("h2d#2=fail");
+  GpApriori miner(cfg);
+  const auto out = miner.mine(db, drill_params());
+  const auto& rep = miner.resilience_report();
+  EXPECT_FALSE(rep.fault_budget_exhausted);
+  EXPECT_GE(rep.retries, 1u);
+  EXPECT_EQ(rep.degraded_to, DegradationStep::kNone);
+  EXPECT_FALSE(out.truncated());
+}
+
+}  // namespace
