@@ -273,6 +273,11 @@ inline int run_figure(const char* figure_id, const char* stem,
          << "  \"host_threads\": " << host_threads << ",\n"
          << "  \"exec_path\": \"" << (native ? "native" : "interpreted")
          << "\",\n"
+         << "  \"tiled\": "
+         << (gpapriori::resolve_tiled(opts.gpu_config.tiled) ? "true"
+                                                             : "false")
+         << ",\n"
+         << "  \"compact_level\": " << opts.gpu_config.compact_level << ",\n"
          << "  \"repeat\": " << opts.repeat << ",\n"
          << "  \"device\": \""
          << json_escape(gpusim::DeviceProperties::tesla_t10().name)
@@ -300,7 +305,12 @@ inline int run_figure(const char* figure_id, const char* stem,
     params.min_support_ratio = sup;
 
     double borgelt_ms = 0;
-    std::vector<std::tuple<std::string, miners::MiningOutput, double>> rows;
+    struct Row {
+      std::string name;
+      miners::MiningOutput out;
+      double wall_ms, wall_ms_min, wall_ms_max;
+    };
+    std::vector<Row> rows;
     for (auto& miner : gpapriori::make_all_miners(gcfg)) {
       const std::string name{miner->name()};
       if (name == "Goethals Apriori" &&
@@ -339,9 +349,10 @@ inline int run_figure(const char* figure_id, const char* stem,
         break;
       }
       if (name == "Borgelt Apriori") borgelt_ms = out.total_ms();
-      rows.emplace_back(name, std::move(out), wall_ms);
+      rows.push_back(
+          {name, std::move(out), wall_ms, walls.front(), walls.back()});
     }
-    for (const auto& [name, out, wall_ms] : rows) {
+    for (const auto& [name, out, wall_ms, wall_min, wall_max] : rows) {
       const double speedup =
           borgelt_ms > 0 ? borgelt_ms / out.total_ms() : 0.0;
       std::printf("%-8.4g %-18s %12.2f %12.3f %12.2f %12.1f %9.2fx %10zu\n",
@@ -359,6 +370,8 @@ inline int run_figure(const char* figure_id, const char* stem,
              << ", \"device_ms\": " << json_number(out.device_ms)
              << ", \"total_ms\": " << json_number(out.total_ms())
              << ", \"wall_ms\": " << json_number(wall_ms)
+             << ", \"wall_ms_min\": " << json_number(wall_min)
+             << ", \"wall_ms_max\": " << json_number(wall_max)
              << ", \"itemsets\": " << out.itemsets.size()
              << ", \"speedup_vs_borgelt\": " << json_number(speedup) << "}";
         first_row = false;
@@ -366,10 +379,9 @@ inline int run_figure(const char* figure_id, const char* stem,
     }
     // The §V headline comparison for this support point.
     double gpu = -1, cpu = -1;
-    for (const auto& [name, out, wall_ms] : rows) {
-      (void)wall_ms;
-      if (name == "GPApriori") gpu = out.total_ms();
-      if (name == "CPU_TEST") cpu = out.total_ms();
+    for (const auto& row : rows) {
+      if (row.name == "GPApriori") gpu = row.out.total_ms();
+      if (row.name == "CPU_TEST") cpu = row.out.total_ms();
     }
     if (gpu > 0 && cpu > 0)
       std::printf("         -> GPApriori vs CPU_TEST: %.2fx\n", cpu / gpu);

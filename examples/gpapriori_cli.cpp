@@ -73,7 +73,8 @@ int usage() {
       "N]\n"
       "                [--max-size K] [--rules CONF] [--closed | --maximal]\n"
       "                [--out FILE] [--fault-plan SPEC] [--host-threads N]\n"
-      "                [--no-native] [--trace-out FILE] [--metrics]\n"
+      "                [--no-native] [--no-tiled] [--compact-level N]\n"
+      "                [--trace-out FILE] [--metrics]\n"
       "                [--deadline-ms MS] [--device-budget-ms MS]\n"
       "                [--watchdog-ms MS] [--checkpoint FILE] [--resume "
       "FILE]\n"
@@ -95,6 +96,15 @@ int usage() {
       "interpreter instead of the vectorized whole-block path (results and\n"
       "statistics are bit-identical either way; the GPAPRIORI_NO_NATIVE\n"
       "environment variable has the same effect).\n"
+      "\n"
+      "--no-tiled disables the equivalence-class tiled support kernel and\n"
+      "counts every candidate by complete k-way intersection (identical\n"
+      "itemsets either way; GPAPRIORI_NO_TILED env var has the same\n"
+      "effect). --compact-level N controls vertical bitset compaction:\n"
+      "0 = off, 1 (default) = drop transaction columns with fewer than two\n"
+      "frequent items after level 1, N >= 2 = additionally re-compact after\n"
+      "each level k <= N when a density heuristic predicts >= 25%% payload\n"
+      "reduction. Compaction is support-invariant, so results never change.\n"
       "\n"
       "--fault-plan injects deterministic device faults (GPApriori and the\n"
       "partitioned variant), e.g. --fault-plan \'seed=42;h2d#3=fail;\n"
@@ -157,6 +167,8 @@ struct Options {
   bool metrics = false;
   std::uint32_t host_threads = 0;
   bool native = true;
+  bool tiled = true;
+  std::uint32_t compact_level = 1;
   double deadline_ms = 0;
   double device_budget_ms = 0;
   double watchdog_ms = 0;
@@ -225,6 +237,18 @@ bool parse_flags(int argc, char** argv, int start, Options& o) {
       o.host_threads = static_cast<std::uint32_t>(n);
     } else if (a == "--no-native") {
       o.native = false;
+    } else if (a == "--no-tiled") {
+      o.tiled = false;
+    } else if (a == "--compact-level") {
+      const char* v = next("--compact-level");
+      if (!v) return false;
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || n > 64) {
+        std::fprintf(stderr, "--compact-level needs an integer in [0, 64]\n");
+        return false;
+      }
+      o.compact_level = static_cast<std::uint32_t>(n);
     } else if (a == "--trace-out") {
       const char* v = next("--trace-out");
       if (!v) return false;
@@ -306,6 +330,8 @@ int cmd_mine(int argc, char** argv) {
   gpapriori::Config cfg;
   cfg.host_threads = o.host_threads;
   cfg.native = o.native;
+  cfg.tiled = o.tiled;
+  cfg.compact_level = o.compact_level;
   cfg.run_control = &run;
   if (!o.fault_plan.empty()) {
     try {

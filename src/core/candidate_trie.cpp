@@ -102,6 +102,57 @@ std::vector<std::uint32_t> CandidateTrie::flatten_level(
   return flat;
 }
 
+std::uint32_t CandidateTrie::GroupedLevel::max_group_size() const {
+  std::uint32_t mx = 0;
+  for (std::size_t g = 0; g + 1 < group_offsets.size(); ++g)
+    mx = std::max(mx, group_offsets[g + 1] - group_offsets[g]);
+  return mx;
+}
+
+CandidateTrie::GroupedLevel CandidateTrie::flatten_level_grouped(
+    std::size_t level, std::uint32_t max_group_size) const {
+  if (level < 2)
+    throw std::invalid_argument(
+        "CandidateTrie::flatten_level_grouped: level must be >= 2");
+  if (max_group_size == 0)
+    throw std::invalid_argument(
+        "CandidateTrie::flatten_level_grouped: max_group_size must be >= 1");
+  const auto& lvl = levels_[level - 1];
+  GroupedLevel out;
+  out.prefix_len = static_cast<std::uint32_t>(level - 1);
+  out.sibling_rows.reserve(lvl.size());
+  out.group_offsets.push_back(0);
+
+  std::uint32_t cur_parent = kNoParent;
+  std::uint32_t cur_size = 0;
+  std::vector<std::uint32_t> path;
+  for (std::uint32_t id : lvl) {
+    const Node& nd = node(id);
+    if (nd.parent != cur_parent || cur_size == max_group_size) {
+      if (cur_size != 0)
+        out.group_offsets.push_back(
+            static_cast<std::uint32_t>(out.sibling_rows.size()));
+      cur_parent = nd.parent;
+      cur_size = 0;
+      // Prefix = path to the parent (level-1 ascending row ids).
+      path.clear();
+      for (std::uint32_t cur = nd.parent; cur != kNoParent;
+           cur = node(cur).parent)
+        path.push_back(node(cur).item);
+      if (path.size() != level - 1)
+        throw std::logic_error("CandidateTrie: node depth mismatch");
+      out.prefix_rows.insert(out.prefix_rows.end(), path.rbegin(),
+                             path.rend());
+    }
+    out.sibling_rows.push_back(nd.item);
+    ++cur_size;
+  }
+  if (cur_size != 0)
+    out.group_offsets.push_back(
+        static_cast<std::uint32_t>(out.sibling_rows.size()));
+  return out;
+}
+
 std::size_t CandidateTrie::mark_frequent(std::size_t level,
                                          std::span<const fim::Support> supports,
                                          fim::Support min_count) {

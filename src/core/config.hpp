@@ -4,6 +4,7 @@
 // are exposed here so the ablation benches can toggle each one.
 
 #include <cstdint>
+#include <cstdlib>
 
 #include "core/resilience.hpp"
 #include "gpusim/device.hpp"
@@ -59,6 +60,21 @@ struct Config {
   /// --no-native or GPAPRIORI_NO_NATIVE to force the interpreter path.
   bool native = true;
 
+  /// Equivalence-class tiled support counting (DESIGN.md §12): one block
+  /// per sibling group computes the shared k-1 prefix AND once per word
+  /// tile instead of once per candidate. Bit-identical output to the
+  /// complete-intersection kernel; disable via --no-tiled or
+  /// GPAPRIORI_NO_TILED to force per-candidate blocks.
+  bool tiled = true;
+
+  /// Vertical bitset compaction (DESIGN.md §12): 0 = off; 1 = drop, after
+  /// level 1, transaction columns covered by fewer than two frequent items
+  /// (they cannot support any k>=2 itemset); N >= 2 additionally
+  /// re-compacts after each level 2..N when the measured density heuristic
+  /// projects at least a 25% word reduction. Support-invariant by the
+  /// argument in fim/vertical.hpp.
+  std::uint32_t compact_level = 1;
+
   /// Bounds-check every device access against live allocations (tests).
   bool strict_memory = false;
 
@@ -98,5 +114,16 @@ struct Config {
     return block_size == 0 ? auto_block_size(words_per_row) : block_size;
   }
 };
+
+/// Effective tiled-kernel setting: the configured value unless the
+/// GPAPRIORI_NO_TILED environment variable is set non-empty and not "0"
+/// (mirrors the GPAPRIORI_NO_NATIVE escape hatch).
+[[nodiscard]] inline bool resolve_tiled(bool configured) {
+  if (const char* env = std::getenv("GPAPRIORI_NO_TILED");
+      env != nullptr && env[0] != '\0' &&
+      !(env[0] == '0' && env[1] == '\0'))
+    return false;
+  return configured;
+}
 
 }  // namespace gpapriori

@@ -6,8 +6,10 @@
 
 #include "baselines/apriori_util.hpp"
 #include "core/candidate_trie.hpp"
+#include "core/compaction.hpp"
 #include "core/run_control.hpp"
 #include "core/support_kernel.hpp"
+#include "core/tiled_support_kernel.hpp"
 #include "fim/bitset_ops.hpp"
 #include "fim/fimi_io.hpp"
 #include "obs/obs.hpp"
@@ -168,7 +170,7 @@ std::vector<fim::BitsetStore> build_slices(const fim::TransactionDb& db,
 /// caller retry on the next rung.
 void mine_levels_on_device(FaultAwareDevice& fdev,
                            const miners::Preprocessed& pre,
-                           std::span<const fim::BitsetStore> slices,
+                           std::vector<fim::BitsetStore>& slices,
                            const Config& cfg,
                            const miners::MiningParams& params,
                            fim::Support min_count, miners::MiningOutput& out,
@@ -179,7 +181,20 @@ void mine_levels_on_device(FaultAwareDevice& fdev,
   gpusim::Device& device = fdev.device();
   const std::size_t n = pre.original_item.size();
   const bool resident = slices.size() == 1;
+  const bool tiled = resolve_tiled(cfg.tiled);
   auto device_ms = [&device] { return device.ledger().total_ns() / 1e6; };
+
+  // ---- Host: initial vertical compaction (measured; DESIGN.md §12). ----
+  if (cfg.compact_level >= 1) {
+    miners::StopWatch compact_watch;
+    obs::ScopedSpan span(obs::SpanKind::kOther, "compact-columns");
+    const std::uint64_t dropped = compact_slices_initial(slices);
+    if (span.active()) {
+      span.add_arg("columns_dropped", static_cast<double>(dropped));
+      span.add_arg("level", 1.0);
+    }
+    out.host_ms += compact_watch.elapsed_ms();
+  }
 
   CandidateTrie trie(n);
   // `k` is the level currently being counted; anything thrown while it is
@@ -212,55 +227,122 @@ void mine_levels_on_device(FaultAwareDevice& fdev,
     host.restart();
     std::size_t ncand = 0;
     std::vector<std::uint32_t> flat;
+    CandidateTrie::GroupedLevel grouped;
     {
       obs::ScopedSpan cand_span(obs::SpanKind::kCandidateGen, "candidate-gen");
       ncand = trie.extend();
-      if (ncand != 0) flat = trie.flatten_level(k);
+      if (ncand != 0) {
+        if (tiled)
+          grouped =
+              trie.flatten_level_grouped(k, TiledSupportKernel::kMaxGroupSize);
+        else
+          flat = trie.flatten_level(k);
+      }
       if (cand_span.active()) {
         cand_span.add_arg("k", static_cast<double>(k));
         cand_span.add_arg("candidates", static_cast<double>(ncand));
+        if (tiled && ncand != 0)
+          cand_span.add_arg("groups",
+                            static_cast<double>(grouped.num_groups()));
       }
     }
     if (ncand == 0) break;
     double level_host_ms = host.elapsed_ms();
 
+    const std::size_t ngroups = grouped.num_groups();
+    const std::uint32_t group_cap = tiled ? grouped.max_group_size() : 0;
+
     const double device_ns_before = device.ledger().total_ns();
 
-    ScopedDeviceAlloc d_cand(fdev, flat.size());
+    // Tiled layout ships three arrays (shared prefixes, per-candidate last
+    // items, group offsets) PACKED into one allocation and one upload — a
+    // per-level transfer pays pcie_latency_us regardless of size, and at
+    // chess scale that fixed cost would eat the kernel-side win three
+    // times over. The complete intersection ships the k-major flattening.
+    // Either way supports land at global candidate indices.
+    std::optional<ScopedDeviceAlloc> d_cand, d_tab;
+    gpusim::DevicePtr<std::uint32_t> d_prefix, d_sib, d_off;
     ScopedDeviceAlloc d_sup(fdev, ncand);
-    fdev.upload(d_cand.get(), std::span<const std::uint32_t>(flat));
+    if (tiled) {
+      std::vector<std::uint32_t> packed;
+      packed.reserve(grouped.prefix_rows.size() +
+                     grouped.sibling_rows.size() +
+                     grouped.group_offsets.size());
+      packed.insert(packed.end(), grouped.prefix_rows.begin(),
+                    grouped.prefix_rows.end());
+      packed.insert(packed.end(), grouped.sibling_rows.begin(),
+                    grouped.sibling_rows.end());
+      packed.insert(packed.end(), grouped.group_offsets.begin(),
+                    grouped.group_offsets.end());
+      d_tab.emplace(fdev, packed.size());
+      fdev.upload(d_tab->get(), std::span<const std::uint32_t>(packed));
+      d_prefix = d_tab->get();
+      d_sib = d_prefix + grouped.prefix_rows.size();
+      d_off = d_sib + grouped.sibling_rows.size();
+    } else {
+      d_cand.emplace(fdev, flat.size());
+      fdev.upload(d_cand->get(), std::span<const std::uint32_t>(flat));
+    }
 
     std::vector<fim::Support> supports(ncand, 0);
     std::vector<std::uint32_t> partial(ncand);
     for (const auto& slice : slices) {
       if (!resident) fdev.upload(d_bits.get(), slice.arena());
-
-      SupportKernel::Args args;
-      args.bitsets = d_bits.get();
-      args.stride_words = static_cast<std::uint32_t>(slice.row_stride_words());
-      args.words_per_row = static_cast<std::uint32_t>(slice.words_per_row());
-      args.candidates = d_cand.get();
-      args.k = static_cast<std::uint32_t>(k);
-      args.supports = d_sup.get();
       const std::uint32_t block_size =
           cfg.resolve_block_size(slice.words_per_row());
 
-      for (std::uint32_t done = 0; done < ncand;) {
-        const auto batch = std::min<std::uint32_t>(
-            kMaxGridX, static_cast<std::uint32_t>(ncand) - done);
-        args.first_candidate = done;
-        SupportKernel kernel(args, cfg.candidate_preload, cfg.unroll);
-        gpusim::LaunchConfig lcfg{gpusim::Dim3{batch},
-                                  gpusim::Dim3{block_size}};
-        gpusim::KernelStats stats = fdev.launch(kernel, lcfg);
-        if (history != nullptr) history->push_back(std::move(stats));
-        done += batch;
+      if (tiled) {
+        TiledSupportKernel::Args args;
+        args.bitsets = d_bits.get();
+        args.stride_words =
+            static_cast<std::uint32_t>(slice.row_stride_words());
+        args.words_per_row = static_cast<std::uint32_t>(slice.words_per_row());
+        args.prefix_rows = d_prefix;
+        args.sibling_rows = d_sib;
+        args.group_offsets = d_off;
+        args.k = static_cast<std::uint32_t>(k);
+        args.max_group_size = group_cap;
+        args.supports = d_sup.get();
+
+        for (std::uint32_t done = 0; done < ngroups;) {
+          const auto batch = std::min<std::uint32_t>(
+              kMaxGridX, static_cast<std::uint32_t>(ngroups) - done);
+          args.first_group = done;
+          TiledSupportKernel kernel(args, cfg.unroll);
+          gpusim::LaunchConfig lcfg{gpusim::Dim3{batch},
+                                    gpusim::Dim3{block_size}};
+          gpusim::KernelStats stats = fdev.launch(kernel, lcfg);
+          if (history != nullptr) history->push_back(std::move(stats));
+          done += batch;
+        }
+      } else {
+        SupportKernel::Args args;
+        args.bitsets = d_bits.get();
+        args.stride_words =
+            static_cast<std::uint32_t>(slice.row_stride_words());
+        args.words_per_row = static_cast<std::uint32_t>(slice.words_per_row());
+        args.candidates = d_cand->get();
+        args.k = static_cast<std::uint32_t>(k);
+        args.supports = d_sup.get();
+
+        for (std::uint32_t done = 0; done < ncand;) {
+          const auto batch = std::min<std::uint32_t>(
+              kMaxGridX, static_cast<std::uint32_t>(ncand) - done);
+          args.first_candidate = done;
+          SupportKernel kernel(args, cfg.candidate_preload, cfg.unroll);
+          gpusim::LaunchConfig lcfg{gpusim::Dim3{batch},
+                                    gpusim::Dim3{block_size}};
+          gpusim::KernelStats stats = fdev.launch(kernel, lcfg);
+          if (history != nullptr) history->push_back(std::move(stats));
+          done += batch;
+        }
       }
 
       fdev.download_verified(std::span<std::uint32_t>(partial), d_sup.get());
       for (std::size_t i = 0; i < ncand; ++i) supports[i] += partial[i];
     }
     d_cand.reset();
+    d_tab.reset();
     d_sup.reset();
     const double level_device_ms =
         (device.ledger().total_ns() - device_ns_before) / 1e6;
@@ -285,20 +367,45 @@ void mine_levels_on_device(FaultAwareDevice& fdev,
       level_span.add_arg("survivors",
                          static_cast<double>(trie.level_size(k)));
       level_span.add_arg("device_ms", level_device_ms);
+      if (tiled) {
+        level_span.add_arg("groups", static_cast<double>(ngroups));
+        level_span.add_arg("prefix_reuse",
+                           ngroups == 0 ? 0.0
+                                        : static_cast<double>(ncand) /
+                                              static_cast<double>(ngroups));
+      }
     }
     auto& metrics = obs::MetricsRegistry::global();
     if (metrics.enabled()) {
       obs::LevelMetrics lm;
       lm.candidates = ncand;
       lm.survivors = trie.level_size(k);
-      // Complete-intersection arithmetic: every candidate ANDs k rows of
-      // words_per_row words and popcounts each intersection word, once per
-      // partition slice.
       for (const auto& slice : slices) {
-        lm.words_anded += static_cast<std::uint64_t>(ncand) * k *
-                          slice.words_per_row();
-        lm.popc_ops +=
-            static_cast<std::uint64_t>(ncand) * slice.words_per_row();
+        const std::uint64_t W = slice.words_per_row();
+        if (tiled) {
+          // Tiled arithmetic: each group ANDs its k-1 prefix rows once,
+          // then each candidate ANDs + popcounts its last row against the
+          // cached tile — the (k-1)·W·(ncand - ngroups) difference is the
+          // work the equivalence-class sharing eliminated.
+          lm.words_anded +=
+              (static_cast<std::uint64_t>(ngroups) * (k - 1) + ncand) * W;
+          lm.popc_ops += static_cast<std::uint64_t>(ncand) * W;
+          const std::uint64_t ntiles =
+              (W + TiledSupportKernel::kTileWords - 1) /
+              TiledSupportKernel::kTileWords;
+          metrics.add(obs::Counter::kTiledGroups, ngroups);
+          metrics.add(obs::Counter::kTiledTiles,
+                      static_cast<std::uint64_t>(ngroups) * ntiles);
+          metrics.add(obs::Counter::kTiledWordsSaved,
+                      static_cast<std::uint64_t>(k - 1) *
+                          (ncand - ngroups) * W);
+        } else {
+          // Complete-intersection arithmetic: every candidate ANDs k rows
+          // of words_per_row words and popcounts each intersection word,
+          // once per partition slice.
+          lm.words_anded += static_cast<std::uint64_t>(ncand) * k * W;
+          lm.popc_ops += static_cast<std::uint64_t>(ncand) * W;
+        }
       }
       metrics.record_level(k, lm);
     }
@@ -308,6 +415,28 @@ void mine_levels_on_device(FaultAwareDevice& fdev,
                            static_cast<std::uint32_t>(params.max_itemset_size));
 
     if (trie.level_size(k) == 0) break;
+
+    // ---- Host: per-level re-compaction (resident store only — streamed
+    // slices are re-uploaded every level anyway, so the initial pass is
+    // the profitable one there). ----
+    if (resident && cfg.compact_level >= 2 && k <= cfg.compact_level) {
+      host.restart();
+      obs::ScopedSpan span(obs::SpanKind::kOther, "compact-columns");
+      if (const auto plan =
+              plan_level_recompaction(slices[0], trie, k, n)) {
+        slices[0] = fim::BitsetStore::compact_columns(slices[0], *plan);
+        fdev.upload(d_bits.get(), slices[0].arena());
+        metrics.add(obs::Counter::kCompactColumnsDropped,
+                    plan->original_columns - plan->kept());
+        if (span.active()) {
+          span.add_arg("level", static_cast<double>(k));
+          span.add_arg("columns_dropped", static_cast<double>(
+                                              plan->original_columns -
+                                              plan->kept()));
+        }
+      }
+      out.host_ms += host.elapsed_ms();
+    }
   }
   } catch (const gpusim::CancelledError& e) {
     // Cooperative salvage: the executor drained its in-flight chunks and
@@ -440,8 +569,7 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
         throw gpusim::DeviceOomError(
             "partition budget (" + std::to_string(budget) +
             " B) too small for even a 512-transaction chunk");
-      const std::vector<fim::BitsetStore> slices =
-          build_slices(pre.db, n, chunk);
+      std::vector<fim::BitsetStore> slices = build_slices(pre.db, n, chunk);
       report_.degraded_to = DegradationStep::kPartitioned;
       obs::MetricsRegistry::global().add(obs::Counter::kLadderHops, 1);
       obs::TraceRecorder::global().instant(obs::SpanKind::kLadderHop,
@@ -478,7 +606,9 @@ miners::MiningOutput GpApriori::mine(const fim::TransactionDb& db,
   report_.push_event("degraded to CPU_TEST (device abandoned)");
   ledger_ = device.ledger();
   report_.device_faults = device.fault_stats();
-  miners::MiningOutput out = CpuBitsetApriori(rc).mine(db, params);
+  miners::MiningOutput out =
+      CpuBitsetApriori(rc, resolve_tiled(cfg_.tiled), cfg_.compact_level)
+          .mine(db, params);
   return out;
 }
 
@@ -512,7 +642,13 @@ miners::MiningOutput CpuBitsetApriori::mine(const fim::TransactionDb& db,
 
   std::vector<fim::Item> rows(n);
   for (fim::Item i = 0; i < n; ++i) rows[i] = i;
-  const fim::BitsetStore store = fim::BitsetStore::from_db(pre.db, rows);
+  fim::BitsetStore store = fim::BitsetStore::from_db(pre.db, rows);
+  if (compact_level_ >= 1 && n > 0) {
+    std::vector<fim::BitsetStore> single;
+    single.push_back(std::move(store));
+    compact_slices_initial(single);
+    store = std::move(single[0]);
+  }
 
   CandidateTrie trie(n);
   for (fim::Item x = 0; x < n; ++x)
@@ -535,14 +671,33 @@ miners::MiningOutput CpuBitsetApriori::mine(const fim::TransactionDb& db,
       const miners::StopWatch level;
       const std::size_t ncand = trie.extend();
       if (ncand == 0) break;
-      const std::vector<std::uint32_t> flat = trie.flatten_level(k);
 
-      // Complete intersection on the host: the same k-way AND + popcount
-      // the kernel performs, over the same 64-byte-aligned store.
       std::vector<fim::Support> supports(ncand);
-      for (std::size_t c = 0; c < ncand; ++c)
-        supports[c] = store.and_popcount(
-            std::span<const std::uint32_t>(flat).subspan(c * k, k));
+      if (tiled_) {
+        // The kernel's counting structure on the host: materialize each
+        // sibling group's k-1 prefix AND once, then popcount every
+        // sibling's last row against it. Identical supports to the
+        // complete intersection (AND is associative/commutative).
+        const CandidateTrie::GroupedLevel grouped =
+            trie.flatten_level_grouped(k, TiledSupportKernel::kMaxGroupSize);
+        const std::uint32_t p = grouped.prefix_len;
+        std::vector<fim::BitsetStore::Word> mask(store.row_stride_words());
+        for (std::size_t g = 0; g < grouped.num_groups(); ++g) {
+          store.and_rows(std::span<const std::uint32_t>(grouped.prefix_rows)
+                             .subspan(g * p, p),
+                         mask);
+          for (std::uint32_t c = grouped.group_offsets[g];
+               c < grouped.group_offsets[g + 1]; ++c)
+            supports[c] = store.masked_popcount(mask, grouped.sibling_rows[c]);
+        }
+      } else {
+        // Complete intersection on the host: the same k-way AND + popcount
+        // the kernel performs, over the same 64-byte-aligned store.
+        const std::vector<std::uint32_t> flat = trie.flatten_level(k);
+        for (std::size_t c = 0; c < ncand; ++c)
+          supports[c] = store.and_popcount(
+              std::span<const std::uint32_t>(flat).subspan(c * k, k));
+      }
 
       trie.mark_frequent(k, supports, min_count);
       std::vector<fim::Support> kept;
@@ -560,6 +715,17 @@ miners::MiningOutput CpuBitsetApriori::mine(const fim::TransactionDb& db,
           static_cast<std::uint32_t>(params.max_itemset_size));
 
       if (trie.level_size(k) == 0) break;
+
+      // Per-level re-compaction, same rule and heuristic as the device
+      // resident path.
+      if (compact_level_ >= 2 && k <= compact_level_) {
+        if (const auto plan = plan_level_recompaction(store, trie, k, n)) {
+          store = fim::BitsetStore::compact_columns(store, *plan);
+          obs::MetricsRegistry::global().add(
+              obs::Counter::kCompactColumnsDropped,
+              plan->original_columns - plan->kept());
+        }
+      }
     }
   } catch (const gpusim::CancelledError& e) {
     mark_truncated(out, k, e.cause());
@@ -574,7 +740,9 @@ std::vector<std::unique_ptr<miners::Miner>> make_all_miners(
     const Config& gpapriori_config) {
   std::vector<std::unique_ptr<miners::Miner>> v;
   v.push_back(std::make_unique<GpApriori>(gpapriori_config));
-  v.push_back(std::make_unique<CpuBitsetApriori>());
+  v.push_back(std::make_unique<CpuBitsetApriori>(
+      nullptr, resolve_tiled(gpapriori_config.tiled),
+      gpapriori_config.compact_level));
   for (auto& m : miners::make_cpu_miners()) v.push_back(std::move(m));
   return v;
 }

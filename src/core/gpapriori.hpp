@@ -64,9 +64,15 @@ class CpuBitsetApriori final : public miners::Miner {
   /// Optional run lifecycle controller (deadline/cancel/checkpoint/resume,
   /// core/run_control.hpp). Unowned; null = environment-driven. The CPU
   /// rung of GpApriori's ladder passes the outer run's controller so one
-  /// deadline spans the whole ladder.
-  explicit CpuBitsetApriori(RunControl* run_control = nullptr)
-      : run_control_(run_control) {}
+  /// deadline spans the whole ladder. `tiled` and `compact_level` mirror
+  /// Config::tiled / Config::compact_level so CPU_TEST exercises the same
+  /// counting structure as the device path (identical output either way).
+  explicit CpuBitsetApriori(RunControl* run_control = nullptr,
+                            bool tiled = true,
+                            std::uint32_t compact_level = 1)
+      : run_control_(run_control),
+        tiled_(tiled),
+        compact_level_(compact_level) {}
 
   [[nodiscard]] std::string_view name() const override { return "CPU_TEST"; }
   [[nodiscard]] std::string_view platform() const override {
@@ -77,6 +83,8 @@ class CpuBitsetApriori final : public miners::Miner {
 
  private:
   RunControl* run_control_ = nullptr;
+  bool tiled_ = true;
+  std::uint32_t compact_level_ = 1;
 };
 
 /// Every miner of the paper's Table 1 plus the Eclat/FP-Growth extensions,

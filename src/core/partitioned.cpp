@@ -5,8 +5,10 @@
 
 #include "baselines/apriori_util.hpp"
 #include "core/candidate_trie.hpp"
+#include "core/compaction.hpp"
 #include "core/run_control.hpp"
 #include "core/support_kernel.hpp"
+#include "core/tiled_support_kernel.hpp"
 #include "fim/bitset_ops.hpp"
 #include "obs/obs.hpp"
 
@@ -86,7 +88,12 @@ miners::MiningOutput PartitionedGpApriori::mine(
     fim::TransactionDb part = std::move(b).build();
     slices.push_back(fim::BitsetStore::from_db(part, rows));
   }
+  // Initial per-slice compaction only: streamed slices are re-uploaded
+  // every level, so the one-shot pass captures most of the benefit.
+  if (cfg_.compact_level >= 1) compact_slices_initial(slices);
   out.host_ms += host.elapsed_ms();
+
+  const bool tiled = resolve_tiled(cfg_.tiled);
 
   gpusim::DeviceOptions dopts;
   dopts.arena_bytes = cfg_.arena_bytes;
@@ -119,10 +126,17 @@ miners::MiningOutput PartitionedGpApriori::mine(
     host.restart();
     std::size_t ncand = 0;
     std::vector<std::uint32_t> flat;
+    CandidateTrie::GroupedLevel grouped;
     {
       obs::ScopedSpan cand_span(obs::SpanKind::kCandidateGen, "candidate-gen");
       ncand = trie.extend();
-      if (ncand != 0) flat = trie.flatten_level(k);
+      if (ncand != 0) {
+        if (tiled)
+          grouped =
+              trie.flatten_level_grouped(k, TiledSupportKernel::kMaxGroupSize);
+        else
+          flat = trie.flatten_level(k);
+      }
       if (cand_span.active()) {
         cand_span.add_arg("k", static_cast<double>(k));
         cand_span.add_arg("candidates", static_cast<double>(ncand));
@@ -130,10 +144,33 @@ miners::MiningOutput PartitionedGpApriori::mine(
     }
     if (ncand == 0) break;
     double level_host = host.elapsed_ms();
+    const std::size_t ngroups = grouped.num_groups();
+    const std::uint32_t group_cap = tiled ? grouped.max_group_size() : 0;
 
     const double dev_before = device.ledger().total_ns();
-    auto d_cand = device.alloc<std::uint32_t>(flat.size());
-    device.copy_to_device(d_cand, std::span<const std::uint32_t>(flat));
+    gpusim::DevicePtr<std::uint32_t> d_cand, d_tab, d_prefix, d_sib, d_off;
+    if (tiled) {
+      // Pack the three candidate tables into one upload: each transfer
+      // pays fixed PCIe latency, so three small per-level uploads would
+      // cost more than the data itself.
+      std::vector<std::uint32_t> packed;
+      packed.reserve(grouped.prefix_rows.size() + grouped.sibling_rows.size() +
+                     grouped.group_offsets.size());
+      packed.insert(packed.end(), grouped.prefix_rows.begin(),
+                    grouped.prefix_rows.end());
+      packed.insert(packed.end(), grouped.sibling_rows.begin(),
+                    grouped.sibling_rows.end());
+      packed.insert(packed.end(), grouped.group_offsets.begin(),
+                    grouped.group_offsets.end());
+      d_tab = device.alloc<std::uint32_t>(packed.size());
+      device.copy_to_device(d_tab, std::span<const std::uint32_t>(packed));
+      d_prefix = d_tab;
+      d_sib = d_prefix + grouped.prefix_rows.size();
+      d_off = d_sib + grouped.sibling_rows.size();
+    } else {
+      d_cand = device.alloc<std::uint32_t>(flat.size());
+      device.copy_to_device(d_cand, std::span<const std::uint32_t>(flat));
+    }
     auto d_sup = device.alloc<std::uint32_t>(ncand);
 
     std::vector<fim::Support> supports(ncand, 0);
@@ -141,27 +178,53 @@ miners::MiningOutput PartitionedGpApriori::mine(
     for (const auto& slice : slices) {
       // Stream this chunk's bitsets through the resident buffer.
       device.copy_to_device(d_bits, slice.arena());
-      SupportKernel::Args args;
-      args.bitsets = d_bits;
-      args.stride_words = static_cast<std::uint32_t>(slice.row_stride_words());
-      args.words_per_row = static_cast<std::uint32_t>(slice.words_per_row());
-      args.candidates = d_cand;
-      args.k = static_cast<std::uint32_t>(k);
-      args.supports = d_sup;
-      for (std::uint32_t done = 0; done < ncand;) {
-        const auto batch = std::min<std::uint32_t>(
-            65'535, static_cast<std::uint32_t>(ncand) - done);
-        args.first_candidate = done;
-        SupportKernel kernel(args, cfg_.candidate_preload, cfg_.unroll);
-        device.launch(kernel,
-                      {gpusim::Dim3{batch},
-                       gpusim::Dim3{cfg_.resolve_block_size(slice.words_per_row())}});
-        done += batch;
+      const gpusim::Dim3 block{cfg_.resolve_block_size(slice.words_per_row())};
+      if (tiled) {
+        TiledSupportKernel::Args args;
+        args.bitsets = d_bits;
+        args.stride_words =
+            static_cast<std::uint32_t>(slice.row_stride_words());
+        args.words_per_row = static_cast<std::uint32_t>(slice.words_per_row());
+        args.prefix_rows = d_prefix;
+        args.sibling_rows = d_sib;
+        args.group_offsets = d_off;
+        args.k = static_cast<std::uint32_t>(k);
+        args.max_group_size = group_cap;
+        args.supports = d_sup;
+        for (std::uint32_t done = 0; done < ngroups;) {
+          const auto batch = std::min<std::uint32_t>(
+              65'535, static_cast<std::uint32_t>(ngroups) - done);
+          args.first_group = done;
+          TiledSupportKernel kernel(args, cfg_.unroll);
+          device.launch(kernel, {gpusim::Dim3{batch}, block});
+          done += batch;
+        }
+      } else {
+        SupportKernel::Args args;
+        args.bitsets = d_bits;
+        args.stride_words =
+            static_cast<std::uint32_t>(slice.row_stride_words());
+        args.words_per_row = static_cast<std::uint32_t>(slice.words_per_row());
+        args.candidates = d_cand;
+        args.k = static_cast<std::uint32_t>(k);
+        args.supports = d_sup;
+        for (std::uint32_t done = 0; done < ncand;) {
+          const auto batch = std::min<std::uint32_t>(
+              65'535, static_cast<std::uint32_t>(ncand) - done);
+          args.first_candidate = done;
+          SupportKernel kernel(args, cfg_.candidate_preload, cfg_.unroll);
+          device.launch(kernel, {gpusim::Dim3{batch}, block});
+          done += batch;
+        }
       }
       device.copy_to_host(std::span<std::uint32_t>(partial), d_sup);
       for (std::size_t i = 0; i < ncand; ++i) supports[i] += partial[i];
     }
-    device.free(d_cand);
+    if (tiled) {
+      device.free(d_tab);
+    } else {
+      device.free(d_cand);
+    }
     device.free(d_sup);
     const double level_device =
         (device.ledger().total_ns() - dev_before) / 1e6;
@@ -198,10 +261,22 @@ miners::MiningOutput PartitionedGpApriori::mine(
       lm.survivors = trie.level_size(k);
       // Every candidate is counted against every partition slice.
       for (const auto& slice : slices) {
-        lm.words_anded += static_cast<std::uint64_t>(ncand) * k *
-                          slice.words_per_row();
-        lm.popc_ops +=
-            static_cast<std::uint64_t>(ncand) * slice.words_per_row();
+        const std::uint64_t W = slice.words_per_row();
+        if (tiled) {
+          lm.words_anded +=
+              (static_cast<std::uint64_t>(ngroups) * (k - 1) + ncand) * W;
+          metrics.add(obs::Counter::kTiledGroups, ngroups);
+          metrics.add(obs::Counter::kTiledTiles,
+                      static_cast<std::uint64_t>(ngroups) *
+                          ((W + TiledSupportKernel::kTileWords - 1) /
+                           TiledSupportKernel::kTileWords));
+          metrics.add(obs::Counter::kTiledWordsSaved,
+                      static_cast<std::uint64_t>(k - 1) *
+                          (ncand - ngroups) * W);
+        } else {
+          lm.words_anded += static_cast<std::uint64_t>(ncand) * k * W;
+        }
+        lm.popc_ops += static_cast<std::uint64_t>(ncand) * W;
       }
       metrics.record_level(k, lm);
     }

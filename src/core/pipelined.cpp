@@ -5,8 +5,10 @@
 
 #include "baselines/apriori_util.hpp"
 #include "core/candidate_trie.hpp"
+#include "core/compaction.hpp"
 #include "core/run_control.hpp"
 #include "core/support_kernel.hpp"
+#include "core/tiled_support_kernel.hpp"
 #include "fim/bitset_ops.hpp"
 #include "obs/obs.hpp"
 
@@ -40,7 +42,17 @@ miners::MiningOutput PipelinedGpApriori::mine(
   const std::size_t n = pre.original_item.size();
   std::vector<fim::Item> rows(n);
   for (fim::Item i = 0; i < n; ++i) rows[i] = i;
-  const fim::BitsetStore store = fim::BitsetStore::from_db(pre.db, rows);
+  fim::BitsetStore store = fim::BitsetStore::from_db(pre.db, rows);
+  // Initial compaction only: per-level re-compaction would force a full
+  // re-upload barrier mid-pipeline, defeating the overlap this driver
+  // exists to demonstrate.
+  if (cfg_.compact_level >= 1 && n > 0) {
+    std::vector<fim::BitsetStore> single;
+    single.push_back(std::move(store));
+    compact_slices_initial(single);
+    store = std::move(single[0]);
+  }
+  const bool tiled = resolve_tiled(cfg_.tiled);
 
   CandidateTrie trie(n);
   for (fim::Item x = 0; x < n; ++x)
@@ -78,10 +90,17 @@ miners::MiningOutput PipelinedGpApriori::mine(
     host.restart();
     std::size_t ncand = 0;
     std::vector<std::uint32_t> flat;
+    CandidateTrie::GroupedLevel grouped;
     {
       obs::ScopedSpan cand_span(obs::SpanKind::kCandidateGen, "candidate-gen");
       ncand = trie.extend();
-      if (ncand != 0) flat = trie.flatten_level(k);
+      if (ncand != 0) {
+        if (tiled)
+          grouped =
+              trie.flatten_level_grouped(k, TiledSupportKernel::kMaxGroupSize);
+        else
+          flat = trie.flatten_level(k);
+      }
       if (cand_span.active()) {
         cand_span.add_arg("k", static_cast<double>(k));
         cand_span.add_arg("candidates", static_cast<double>(ncand));
@@ -89,46 +108,75 @@ miners::MiningOutput PipelinedGpApriori::mine(
     }
     if (ncand == 0) break;
     double level_host = host.elapsed_ms();
+    const std::size_t ngroups = grouped.num_groups();
 
     const double dev_before = device.ledger().total_ns();
     // Double-buffered chunk pipeline: chunk c on stream c % 2. All the
     // device buffers live for the whole level; the pipeline only reorders
-    // WHEN transfers/kernels run, not what they touch.
-    const std::size_t chunk_cands =
-        (ncand + chunks_ - 1) / chunks_;
-    auto d_cand = device.alloc<std::uint32_t>(flat.size());
+    // WHEN transfers/kernels run, not what they touch. The tiled path
+    // chunks over sibling GROUPS (each group's supports are a contiguous
+    // candidate range, so downloads stay contiguous).
+    const std::size_t num_units = tiled ? ngroups : ncand;
+    const std::size_t chunk_units = (num_units + chunks_ - 1) / chunks_;
+    const std::size_t num_chunks = (num_units + chunk_units - 1) / chunk_units;
     auto d_sup = device.alloc<std::uint32_t>(ncand);
     std::vector<std::uint32_t> supports(ncand);
 
-    SupportKernel::Args args;
-    args.bitsets = d_bitsets;
-    args.stride_words = static_cast<std::uint32_t>(store.row_stride_words());
-    args.words_per_row = static_cast<std::uint32_t>(store.words_per_row());
-    args.candidates = d_cand;
-    args.k = static_cast<std::uint32_t>(k);
-    args.supports = d_sup;
+    gpusim::DevicePtr<std::uint32_t> d_cand, d_prefix, d_sib, d_off;
+    const std::size_t p = k - 1;
+    if (tiled) {
+      d_prefix = device.alloc<std::uint32_t>(grouped.prefix_rows.size());
+      d_sib = device.alloc<std::uint32_t>(grouped.sibling_rows.size());
+      d_off = device.alloc<std::uint32_t>(grouped.group_offsets.size());
+      // The offsets table is tiny and every chunk's kernels read it, so it
+      // goes up front on the synchronous queue.
+      device.copy_to_device(
+          d_off, std::span<const std::uint32_t>(grouped.group_offsets));
+    } else {
+      d_cand = device.alloc<std::uint32_t>(flat.size());
+    }
 
-    // Chunk geometry. Issue order matters on the single DMA engine: chunk
-    // c+1's UPLOAD must be issued before chunk c's kernel/download or it
-    // queues behind that download and the overlap is lost (the classic
-    // CUDA 2.x pipeline pitfall — see Timeline tests).
-    const std::size_t num_chunks = (ncand + chunk_cands - 1) / chunk_cands;
     auto chunk_bounds = [&](std::size_t c) {
-      const std::size_t lo = c * chunk_cands;
-      return std::pair{lo, std::min(ncand, lo + chunk_cands)};
+      const std::size_t lo = c * chunk_units;
+      return std::pair{lo, std::min(num_units, lo + chunk_units)};
     };
     auto stream_of = [](std::size_t c) {
       return static_cast<gpusim::StreamId>(c % 2);
     };
+    // Candidate-range [clo, chi) of a group chunk (tiled): the contiguous
+    // run the chunk's kernels write and its download pulls back.
+    auto cand_bounds = [&](std::size_t glo, std::size_t ghi) {
+      return std::pair<std::size_t, std::size_t>{
+          grouped.group_offsets[glo], grouped.group_offsets[ghi]};
+    };
+    // Issue order matters on the single DMA engine: chunk c+1's UPLOAD
+    // must be issued before chunk c's kernel/download or it queues behind
+    // that download and the overlap is lost (the classic CUDA 2.x pipeline
+    // pitfall — see Timeline tests).
     auto upload_chunk = [&](std::size_t c) {
       const auto [lo, hi] = chunk_bounds(c);
-      device.copy_to_device_async(
-          d_cand + lo * k,
-          std::span<const std::uint32_t>(flat).subspan(lo * k,
-                                                       (hi - lo) * k),
-          stream_of(c));
+      if (tiled) {
+        const auto [clo, chi] = cand_bounds(lo, hi);
+        device.copy_to_device_async(
+            d_prefix + lo * p,
+            std::span<const std::uint32_t>(grouped.prefix_rows)
+                .subspan(lo * p, (hi - lo) * p),
+            stream_of(c));
+        device.copy_to_device_async(
+            d_sib + clo,
+            std::span<const std::uint32_t>(grouped.sibling_rows)
+                .subspan(clo, chi - clo),
+            stream_of(c));
+      } else {
+        device.copy_to_device_async(
+            d_cand + lo * k,
+            std::span<const std::uint32_t>(flat).subspan(lo * k,
+                                                         (hi - lo) * k),
+            stream_of(c));
+      }
     };
 
+    const gpusim::Dim3 block{cfg_.resolve_block_size(store.words_per_row())};
     upload_chunk(0);
     for (std::size_t c = 0; c < num_chunks; ++c) {
       if (c + 1 < num_chunks) upload_chunk(c + 1);
@@ -137,21 +185,54 @@ miners::MiningOutput PipelinedGpApriori::mine(
       for (std::uint32_t done = 0; done < slice;) {
         const auto batch = std::min<std::uint32_t>(
             65'535, static_cast<std::uint32_t>(slice) - done);
-        args.first_candidate = static_cast<std::uint32_t>(lo) + done;
-        SupportKernel kernel(args, cfg_.candidate_preload, cfg_.unroll);
-        device.launch_async(
-            kernel,
-            {gpusim::Dim3{batch},
-             gpusim::Dim3{cfg_.resolve_block_size(store.words_per_row())}},
-            stream_of(c));
+        if (tiled) {
+          TiledSupportKernel::Args args;
+          args.bitsets = d_bitsets;
+          args.stride_words =
+              static_cast<std::uint32_t>(store.row_stride_words());
+          args.words_per_row =
+              static_cast<std::uint32_t>(store.words_per_row());
+          args.prefix_rows = d_prefix;
+          args.sibling_rows = d_sib;
+          args.group_offsets = d_off;
+          args.k = static_cast<std::uint32_t>(k);
+          args.first_group = static_cast<std::uint32_t>(lo) + done;
+          args.max_group_size = grouped.max_group_size();
+          args.supports = d_sup;
+          TiledSupportKernel kernel(args, cfg_.unroll);
+          device.launch_async(kernel, {gpusim::Dim3{batch}, block},
+                              stream_of(c));
+        } else {
+          SupportKernel::Args args;
+          args.bitsets = d_bitsets;
+          args.stride_words =
+              static_cast<std::uint32_t>(store.row_stride_words());
+          args.words_per_row =
+              static_cast<std::uint32_t>(store.words_per_row());
+          args.candidates = d_cand;
+          args.k = static_cast<std::uint32_t>(k);
+          args.supports = d_sup;
+          args.first_candidate = static_cast<std::uint32_t>(lo) + done;
+          SupportKernel kernel(args, cfg_.candidate_preload, cfg_.unroll);
+          device.launch_async(kernel, {gpusim::Dim3{batch}, block},
+                              stream_of(c));
+        }
         done += batch;
       }
+      const auto [clo, chi] = tiled ? cand_bounds(lo, hi)
+                                    : std::pair<std::size_t, std::size_t>{lo, hi};
       device.copy_to_host_async(
-          std::span<std::uint32_t>(supports).subspan(lo, slice),
-          d_sup + lo, stream_of(c));
+          std::span<std::uint32_t>(supports).subspan(clo, chi - clo),
+          d_sup + clo, stream_of(c));
     }
     device.synchronize();
-    device.free(d_cand);
+    if (tiled) {
+      device.free(d_prefix);
+      device.free(d_sib);
+      device.free(d_off);
+    } else {
+      device.free(d_cand);
+    }
     device.free(d_sup);
     const double level_device =
         (device.ledger().total_ns() - dev_before) / 1e6;
@@ -187,11 +268,22 @@ miners::MiningOutput PipelinedGpApriori::mine(
       lm.candidates = ncand;
       lm.survivors = trie.level_size(k);
       // Streams reorder when work runs, not what it computes: the total
-      // arithmetic matches the synchronous complete intersection.
-      lm.words_anded =
-          static_cast<std::uint64_t>(ncand) * k * store.words_per_row();
-      lm.popc_ops =
-          static_cast<std::uint64_t>(ncand) * store.words_per_row();
+      // arithmetic matches the synchronous tiled / complete intersection.
+      const std::uint64_t W = store.words_per_row();
+      if (tiled) {
+        lm.words_anded =
+            (static_cast<std::uint64_t>(ngroups) * (k - 1) + ncand) * W;
+        metrics.add(obs::Counter::kTiledGroups, ngroups);
+        metrics.add(obs::Counter::kTiledTiles,
+                    static_cast<std::uint64_t>(ngroups) *
+                        ((W + TiledSupportKernel::kTileWords - 1) /
+                         TiledSupportKernel::kTileWords));
+        metrics.add(obs::Counter::kTiledWordsSaved,
+                    static_cast<std::uint64_t>(k - 1) * (ncand - ngroups) * W);
+      } else {
+        lm.words_anded = static_cast<std::uint64_t>(ncand) * k * W;
+      }
+      lm.popc_ops = static_cast<std::uint64_t>(ncand) * W;
       metrics.record_level(k, lm);
     }
 

@@ -1,0 +1,389 @@
+#include "core/tiled_support_kernel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "gpusim/error.hpp"
+
+namespace gpapriori {
+
+namespace {
+
+/// Unaligned 64-bit load over two consecutive 32-bit bitset words (memcpy:
+/// strict-aliasing clean under UBSan, compiles to a single mov).
+inline std::uint64_t load_u64(const std::uint32_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Native sweep tile of 64-bit lanes: the prefix accumulator plus the
+/// prefix row streams and one sibling stream should stay L1-resident.
+constexpr std::uint64_t kMaxTile64 = 1024;
+constexpr std::uint64_t kL1TileBytes = 16 * 1024;
+
+/// Largest prefix length handled natively (stack row-id buffer); longer
+/// prefixes fall back to the interpreter, which has no such limit.
+constexpr std::uint32_t kMaxNativePrefix = 256;
+
+}  // namespace
+
+std::uint32_t TiledSupportKernel::phase_count(std::uint32_t words_per_row) {
+  const std::uint32_t ntiles =
+      (words_per_row + kTileWords - 1) / kTileWords;
+  return 1 /*preload*/ + 2 * ntiles /*prefix AND + sibling sweep*/ +
+         1 /*reduce + writeback*/;
+}
+
+gpusim::KernelInfo TiledSupportKernel::info(
+    const gpusim::LaunchConfig& cfg) const {
+  // The sibling sweep gives each warp full 32-lane word coverage and the
+  // reduction sums exactly 32 partials per sibling, so partial warps would
+  // silently skip words. Reject at launch instead of miscounting.
+  if (cfg.block.x == 0 || cfg.block.x % 32 != 0 || cfg.block.y != 1 ||
+      cfg.block.z != 1)
+    throw gpusim::LaunchError(
+        "gpapriori_support_tiled: block must be 1-D with x a multiple of "
+        "32 (got " + std::to_string(cfg.block.x) + ")");
+  if (args_.k == 0)
+    throw gpusim::LaunchError("gpapriori_support_tiled: k must be >= 1");
+  if (args_.max_group_size == 0 || args_.max_group_size > kMaxGroupSize)
+    throw gpusim::LaunchError(
+        "gpapriori_support_tiled: max_group_size must be in [1, " +
+        std::to_string(kMaxGroupSize) + "]");
+  gpusim::KernelInfo i;
+  i.num_phases = phase_count(args_.words_per_row);
+  // Shared layout: meta pair, prefix-AND tile, padded per-(sibling, lane)
+  // partials, then the preloaded prefix + sibling row ids.
+  i.static_shared_bytes =
+      (std::size_t{2} + kTileWords +
+       std::size_t{args_.max_group_size} * kPartialPitch + (args_.k - 1) +
+       args_.max_group_size) * 4;
+  i.regs_per_thread = 18;
+  return i;
+}
+
+void TiledSupportKernel::run_phase(std::uint32_t phase,
+                                   gpusim::ThreadCtx& t) const {
+  const std::uint32_t tid = t.flat_tid();
+  const std::uint32_t block = t.block_dim().x;
+  const std::uint64_t g = args_.first_group + t.flat_block_idx();
+  const std::uint32_t p = args_.k - 1;
+  const std::uint32_t W = args_.words_per_row;
+  const std::uint64_t stride = args_.stride_words;
+  const std::uint32_t ntiles = (W + kTileWords - 1) / kTileWords;
+
+  if (phase == 0) {
+    // Group descriptor: every thread reads both offsets (broadcast loads,
+    // exactly what the CUDA kernel would do); thread 0 parks them in
+    // shared for the later phases. Row-id preload is strided, so ids
+    // beyond blockDim still land — unlike SupportKernel's preload, this
+    // path has NO zero-quirk.
+    const std::uint32_t off0 = t.ld_global(args_.group_offsets, g);
+    const std::uint32_t off1 = t.ld_global(args_.group_offsets, g + 1);
+    const std::uint32_t G = off1 - off0;
+    t.alu(1);  // the subtraction
+    if (tid == 0) {
+      t.st_shared<std::uint32_t>(shared_meta_off(0), G);
+      t.st_shared<std::uint32_t>(shared_meta_off(1), off0);
+    }
+    for (std::uint32_t i = tid; i < p; i += block) {
+      const std::uint32_t row = t.ld_global(args_.prefix_rows, g * p + i);
+      t.st_shared<std::uint32_t>(shared_prefix_off(i), row);
+      t.alu(2);  // loop control
+    }
+    for (std::uint32_t i = tid; i < G; i += block) {
+      const std::uint32_t row =
+          t.ld_global(args_.sibling_rows, std::uint64_t{off0} + i);
+      t.st_shared<std::uint32_t>(shared_sib_off(i), row);
+      t.alu(2);  // loop control
+    }
+    return;
+  }
+
+  const std::uint32_t last_phase = 1 + 2 * ntiles;
+  if (phase < last_phase) {
+    const std::uint32_t j = (phase - 1) / 2;
+    const std::uint32_t lo = j * kTileWords;
+    const std::uint32_t hi = std::min(W, lo + kTileWords);
+    const std::uint32_t len = hi - lo;
+
+    if ((phase - 1) % 2 == 0) {
+      // ---- Prefix AND: threads stride the tile's words (coalesced) and
+      // AND the k-1 prefix rows into the shared tile. ----
+      const std::uint64_t n_iters =
+          tid < len ? (len - 1 - tid) / block + 1 : 0;
+      const std::uint64_t ctrl =
+          unroll_ <= 1 ? n_iters : (n_iters + unroll_ - 1) / unroll_;
+
+      if (!t.traced()) {
+        if (n_iters != 0) {
+          if (p == 0) {
+            // Empty prefix (k == 1): the AND identity.
+            for (std::uint32_t w = lo + tid; w < hi; w += block)
+              t.st_shared<std::uint32_t>(shared_tile_off(w - lo), ~0u);
+          } else {
+            const std::span<const std::uint32_t> rows =
+                t.ld_shared_span<std::uint32_t>(shared_prefix_off(0), p,
+                                                std::uint64_t{p} * n_iters);
+            std::uint32_t max_row = 0;
+            for (std::uint32_t r = 0; r < p; ++r)
+              max_row = std::max(max_row, rows[r]);
+            const std::span<const std::uint32_t> bits = t.ld_global_span(
+                args_.bitsets, 0,
+                static_cast<std::uint64_t>(max_row) * stride + W,
+                std::uint64_t{p} * n_iters);
+            for (std::uint32_t w = lo + tid; w < hi; w += block) {
+              std::uint32_t acc = ~0u;
+              for (std::uint32_t r = 0; r < p; ++r)
+                acc &= bits[static_cast<std::uint64_t>(rows[r]) * stride + w];
+              t.st_shared<std::uint32_t>(shared_tile_off(w - lo), acc);
+            }
+          }
+          t.alu_bulk((std::uint64_t{p} + 1) * n_iters + 2 * ctrl);
+        }
+        return;
+      }
+
+      std::uint32_t iter = 0;
+      for (std::uint32_t w = lo + tid; w < hi; w += block, ++iter) {
+        std::uint32_t acc = ~0u;
+        t.alu(1);  // accumulator init
+        for (std::uint32_t r = 0; r < p; ++r) {
+          const std::uint32_t row =
+              t.ld_shared<std::uint32_t>(shared_prefix_off(r));
+          acc &= t.ld_global(args_.bitsets,
+                             static_cast<std::uint64_t>(row) * stride + w);
+          t.alu(1);  // the AND
+        }
+        t.st_shared<std::uint32_t>(shared_tile_off(w - lo), acc);
+        if (unroll_ <= 1 || (iter + 1) % unroll_ == 0) t.alu(2);
+      }
+      if (unroll_ > 1 && iter % unroll_ != 0) t.alu(2);
+      return;
+    }
+
+    // ---- Sibling sweep: warp w owns siblings w, w+nw, …; its lanes
+    // stride the sibling row's words by 32 (coalesced) and popcount
+    // against the cached tile, accumulating into the per-(sibling, lane)
+    // partial. ----
+    const std::uint32_t G = t.ld_shared<std::uint32_t>(shared_meta_off(0));
+    const std::uint32_t warp = t.warp_id();
+    const std::uint32_t lane = t.lane_id();
+    const std::uint32_t nw = block / 32;
+    const std::uint64_t n_words =
+        lane < len ? (len - 1 - lane) / 32 + 1 : 0;
+    const std::uint64_t wg =
+        unroll_ <= 1 ? n_words : (n_words + unroll_ - 1) / unroll_;
+
+    if (!t.traced()) {
+      const std::uint64_t nsib = warp < G ? (G - 1 - warp) / nw + 1 : 0;
+      if (nsib != 0) {
+        const std::span<const std::uint32_t> sibs =
+            t.ld_shared_span<std::uint32_t>(shared_sib_off(0), G, nsib);
+        std::uint32_t max_row = 0;
+        for (std::uint32_t s = warp; s < G; s += nw)
+          max_row = std::max(max_row, sibs[s]);
+        const std::span<const std::uint32_t> tile =
+            t.ld_shared_span<std::uint32_t>(shared_tile_off(0), len,
+                                            nsib * n_words);
+        const std::span<const std::uint32_t> bits = t.ld_global_span(
+            args_.bitsets, 0,
+            static_cast<std::uint64_t>(max_row) * stride + W,
+            nsib * n_words);
+        for (std::uint32_t s = warp; s < G; s += nw) {
+          const std::uint64_t row = sibs[s];
+          std::uint32_t cnt = 0;
+          for (std::uint32_t w = lo + lane; w < hi; w += 32)
+            cnt += static_cast<std::uint32_t>(
+                std::popcount(tile[w - lo] & bits[row * stride + w]));
+          const std::uint32_t part =
+              t.ld_shared<std::uint32_t>(shared_partial_off(s, lane));
+          t.st_shared<std::uint32_t>(shared_partial_off(s, lane),
+                                     part + cnt);
+        }
+        t.alu_bulk(nsib * (3 * n_words + 2 * wg + 4));
+      }
+      return;
+    }
+
+    for (std::uint32_t s = warp; s < G; s += nw) {
+      const std::uint32_t row =
+          t.ld_shared<std::uint32_t>(shared_sib_off(s));
+      std::uint32_t cnt = 0;
+      t.alu(1);  // accumulator init
+      std::uint32_t iter = 0;
+      for (std::uint32_t w = lo + lane; w < hi; w += 32, ++iter) {
+        const std::uint32_t tw =
+            t.ld_shared<std::uint32_t>(shared_tile_off(w - lo));
+        const std::uint32_t v = t.ld_global(
+            args_.bitsets, static_cast<std::uint64_t>(row) * stride + w);
+        cnt += t.popc(tw & v);
+        t.alu(2);  // the AND + accumulate add
+        if (unroll_ <= 1 || (iter + 1) % unroll_ == 0) t.alu(2);
+      }
+      if (unroll_ > 1 && iter % unroll_ != 0) t.alu(2);
+      const std::uint32_t part =
+          t.ld_shared<std::uint32_t>(shared_partial_off(s, lane));
+      t.alu(1);  // accumulate add
+      t.st_shared<std::uint32_t>(shared_partial_off(s, lane), part + cnt);
+      t.alu(2);  // outer loop control
+    }
+    return;
+  }
+
+  // ---- Reduce + writeback: thread t sums sibling t's 32 lane partials
+  // (padded pitch: 32 distinct banks) and stores the support at the
+  // candidate's GLOBAL index. W == 0 launches reach here with the partials
+  // still executor-zeroed, yielding support 0 like the complete
+  // intersection does. ----
+  const std::uint32_t G = t.ld_shared<std::uint32_t>(shared_meta_off(0));
+  const std::uint32_t off0 = t.ld_shared<std::uint32_t>(shared_meta_off(1));
+  for (std::uint32_t s = tid; s < G; s += block) {
+    std::uint32_t total = 0;
+    t.alu(1);  // accumulator init
+    for (std::uint32_t l = 0; l < 32; ++l) {
+      total += t.ld_shared<std::uint32_t>(shared_partial_off(s, l));
+      t.alu(1);  // the add
+    }
+    t.st_global(args_.supports, std::uint64_t{off0} + s, total);
+    t.alu(2);  // loop control
+  }
+}
+
+bool TiledSupportKernel::run_block_native(gpusim::BlockCtx& b) const {
+  if (b.block_dim().y != 1 || b.block_dim().z != 1) return false;
+  const std::uint32_t block = b.block_dim().x;
+  if (block == 0 || block % 32 != 0) return false;
+  const std::uint32_t tpb = b.num_threads();
+  const std::uint32_t p = args_.k - 1;
+  const std::uint32_t W = args_.words_per_row;
+  if (p > kMaxNativePrefix) return false;
+  const std::uint64_t g = args_.first_group + b.flat_block_idx();
+  const std::uint32_t off0 = b.load(args_.group_offsets, g);
+  const std::uint32_t off1 = b.load(args_.group_offsets, g + 1);
+  const std::uint32_t G = off1 - off0;
+  if (G > kMaxGroupSize) return false;
+  const std::uint32_t nw = block / 32;
+  const std::uint64_t stride = args_.stride_words;
+
+  // ---- functional effect: supports[off0+s] = popcount(prefix AND & sib_s)
+  // for every sibling of the group, word-tiled so the 64-bit prefix
+  // accumulator stays L1-resident across the sibling sweep. ----
+  std::uint32_t prefix[kMaxNativePrefix];
+  if (p != 0) {
+    const auto v = b.view(args_.prefix_rows, g * p, p);
+    std::copy(v.begin(), v.end(), prefix);
+  }
+  std::uint32_t sib[kMaxGroupSize];
+  std::uint32_t counts[kMaxGroupSize] = {};
+  if (G != 0) {
+    const auto v = b.view(args_.sibling_rows, off0, G);
+    std::copy(v.begin(), v.end(), sib);
+  }
+  if (W != 0 && G != 0) {
+    std::uint32_t max_row = 0;
+    for (std::uint32_t r = 0; r < p; ++r)
+      max_row = std::max(max_row, prefix[r]);
+    for (std::uint32_t s = 0; s < G; ++s)
+      max_row = std::max(max_row, sib[s]);
+    const std::uint32_t* base =
+        b.view(args_.bitsets, 0, max_row * stride + W).data();
+
+    const std::uint64_t n64 = W / 2;
+    const std::uint64_t tile = std::clamp<std::uint64_t>(
+        kL1TileBytes / 8 / (std::uint64_t{p} + 2), 64, kMaxTile64);
+    std::uint64_t acc[kMaxTile64];
+    for (std::uint64_t t0 = 0; t0 < n64; t0 += tile) {
+      const std::uint64_t m = std::min(tile, n64 - t0);
+      if (p == 0) {
+        for (std::uint64_t j = 0; j < m; ++j) acc[j] = ~std::uint64_t{0};
+      } else {
+        const std::uint32_t* r0 = base + prefix[0] * stride + 2 * t0;
+        for (std::uint64_t j = 0; j < m; ++j) acc[j] = load_u64(r0 + 2 * j);
+        for (std::uint32_t r = 1; r < p; ++r) {
+          const std::uint32_t* rp = base + prefix[r] * stride + 2 * t0;
+          for (std::uint64_t j = 0; j < m; ++j)
+            acc[j] &= load_u64(rp + 2 * j);
+        }
+      }
+      for (std::uint32_t s = 0; s < G; ++s) {
+        const std::uint32_t* rp = base + sib[s] * stride + 2 * t0;
+        std::uint64_t c = 0;
+        for (std::uint64_t j = 0; j < m; ++j)
+          c += static_cast<std::uint64_t>(
+              std::popcount(acc[j] & load_u64(rp + 2 * j)));
+        counts[s] += static_cast<std::uint32_t>(c);
+      }
+    }
+    if (W % 2 != 0) {
+      std::uint32_t a = ~0u;
+      for (std::uint32_t r = 0; r < p; ++r)
+        a &= base[prefix[r] * stride + W - 1];
+      for (std::uint32_t s = 0; s < G; ++s)
+        counts[s] += static_cast<std::uint32_t>(
+            std::popcount(a & base[sib[s] * stride + W - 1]));
+    }
+  }
+  for (std::uint32_t s = 0; s < G; ++s)
+    b.store(args_.supports, std::uint64_t{off0} + s, counts[s]);
+
+  // ---- accounting: field-exact against the interpreted phases ----
+  // Phase 0 — preload: every thread reads both group offsets and computes
+  // the size; thread 0 parks them in shared; the row-id copies are strided.
+  b.charge_global_loads(2ull * tpb + p + G, 4 * (2ull * tpb + p + G));
+  b.charge_shared_stores(2 + std::uint64_t{p} + G);
+  b.charge_phase([&](std::uint32_t tid) -> std::uint64_t {
+    const std::uint64_t np = tid < p ? (p - 1 - tid) / block + 1 : 0;
+    const std::uint64_t ns = tid < G ? (G - 1 - tid) / block + 1 : 0;
+    return 3 + (tid == 0 ? 2 : 0) + 4 * np + 4 * ns;
+  });
+
+  const std::uint32_t ntiles = (W + kTileWords - 1) / kTileWords;
+  for (std::uint32_t j = 0; j < ntiles; ++j) {
+    const std::uint32_t lo = j * kTileWords;
+    const std::uint32_t len = std::min(W, lo + kTileWords) - lo;
+
+    // Prefix-AND phase: each tile word is visited by exactly one thread,
+    // costing p prefix-id loads (shared) + p bitset loads + the tile store;
+    // per-lane ops follow the interpreter's (3p+2)·iters + loop control.
+    b.charge_shared_loads(std::uint64_t{p} * len);
+    b.charge_global_loads(std::uint64_t{p} * len, 4ull * p * len);
+    b.charge_shared_stores(len);
+    b.charge_phase([&](std::uint32_t tid) -> std::uint64_t {
+      const std::uint64_t n = tid < len ? (len - 1 - tid) / block + 1 : 0;
+      if (n == 0) return 0;
+      const std::uint64_t ctrl =
+          unroll_ <= 1 ? n : (n + unroll_ - 1) / unroll_;
+      return (3ull * p + 2) * n + 2 * ctrl;
+    });
+
+    // Sibling-sweep phase: every thread reads the group size; each
+    // sibling costs its 32 lanes one broadcast id load, len tile loads
+    // between them, len bitset loads, and a partial RMW per lane.
+    b.charge_shared_loads(tpb + std::uint64_t{G} * (64 + len));
+    b.charge_shared_stores(32ull * G);
+    b.charge_global_loads(std::uint64_t{G} * len, 4ull * G * len);
+    b.charge_phase([&](std::uint32_t tid) -> std::uint64_t {
+      const std::uint32_t wp = tid / 32, l = tid % 32;
+      const std::uint64_t nsib = wp < G ? (G - 1 - wp) / nw + 1 : 0;
+      const std::uint64_t n = l < len ? (len - 1 - l) / 32 + 1 : 0;
+      const std::uint64_t wg =
+          unroll_ <= 1 ? n : (n + unroll_ - 1) / unroll_;
+      return 1 + nsib * (7 + 5 * n + 2 * wg);
+    });
+  }
+
+  // Reduce + writeback: every thread reads the meta pair; each sibling's
+  // owner sums 32 partials and stores the support.
+  b.charge_shared_loads(2ull * tpb + 32ull * G);
+  b.charge_global_stores(G, 4ull * G);
+  b.charge_phase([&](std::uint32_t tid) -> std::uint64_t {
+    const std::uint64_t ns = tid < G ? (G - 1 - tid) / block + 1 : 0;
+    return 2 + 68 * ns;
+  });
+  return true;
+}
+
+}  // namespace gpapriori

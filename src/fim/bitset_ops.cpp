@@ -91,6 +91,61 @@ void BitsetStore::and_rows(std::span<const std::uint32_t> row_ids,
   }
 }
 
+Support BitsetStore::masked_popcount(std::span<const Word> mask,
+                                     std::size_t r) const {
+  if (mask.size() < words_per_row_)
+    throw std::out_of_range("BitsetStore::masked_popcount: mask too small");
+  Support n = 0;
+  for (std::size_t w = 0; w < words_per_row_; ++w)
+    n += static_cast<Support>(std::popcount(mask[w] & words_[r * stride_ + w]));
+  return n;
+}
+
+std::vector<std::uint32_t> BitsetStore::column_populations(
+    std::span<const std::uint32_t> row_ids) const {
+  std::vector<std::uint32_t> counts(num_bits_, 0);
+  auto accumulate = [&](std::size_t r) {
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      Word v = words_[r * stride_ + w];
+      while (v) {
+        const auto b = static_cast<std::size_t>(std::countr_zero(v));
+        counts[w * kBitsPerWord + b] += 1;
+        v &= v - 1;
+      }
+    }
+  };
+  if (row_ids.empty()) {
+    for (std::size_t r = 0; r < rows_; ++r) accumulate(r);
+  } else {
+    for (std::uint32_t r : row_ids) accumulate(r);
+  }
+  return counts;
+}
+
+BitsetStore BitsetStore::compact_columns(const BitsetStore& src,
+                                         const ColumnCompaction& plan) {
+  if (plan.old_to_new.size() != src.num_bits_)
+    throw std::invalid_argument(
+        "BitsetStore::compact_columns: plan column count mismatch");
+  BitsetStore out(src.rows_, plan.kept());
+  // Gather set bits through the remap; dropped columns vanish, kept ones
+  // keep their relative order (old_to_new is monotone on kept columns).
+  for (std::size_t r = 0; r < src.rows_; ++r) {
+    for (std::size_t w = 0; w < src.words_per_row_; ++w) {
+      Word v = src.words_[r * src.stride_ + w];
+      while (v) {
+        const auto b = static_cast<std::size_t>(std::countr_zero(v));
+        const std::uint32_t nt = plan.old_to_new[w * kBitsPerWord + b];
+        if (nt != ColumnCompaction::kDropped)
+          out.words_[r * out.stride_ + nt / kBitsPerWord] |=
+              Word{1} << (nt % kBitsPerWord);
+        v &= v - 1;
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<Tid> BitsetStore::row_tidset(std::size_t r) const {
   std::vector<Tid> out;
   for (std::size_t w = 0; w < words_per_row_; ++w) {

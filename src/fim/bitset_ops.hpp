@@ -67,6 +67,24 @@ class BitsetStore {
   void and_rows(std::span<const std::uint32_t> row_ids,
                 std::span<Word> out) const;
 
+  /// popcount(mask & row r) over the payload words — the sibling-sweep
+  /// primitive of the tiled CPU path (mask = materialized prefix AND).
+  [[nodiscard]] Support masked_popcount(std::span<const Word> mask,
+                                        std::size_t r) const;
+
+  /// Bits set per column (transaction) across the subset of rows in
+  /// `row_ids` (all rows when empty) — the input to
+  /// fim::plan_column_compaction.
+  [[nodiscard]] std::vector<std::uint32_t> column_populations(
+      std::span<const std::uint32_t> row_ids) const;
+
+  /// Gathers the kept columns of every row into a fresh store with
+  /// num_bits == plan.kept() (support-invariant for the miner when the
+  /// plan came from plan_column_compaction with min_rows == 2 — see
+  /// fim/vertical.hpp).
+  [[nodiscard]] static BitsetStore compact_columns(
+      const BitsetStore& src, const ColumnCompaction& plan);
+
   /// Converts one row back to a tidset (for tests / Fig. 2 round trips).
   [[nodiscard]] std::vector<Tid> row_tidset(std::size_t r) const;
 

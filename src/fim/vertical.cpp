@@ -50,6 +50,21 @@ std::vector<Tid> tidset_difference(std::span<const Tid> a,
   return out;
 }
 
+ColumnCompaction plan_column_compaction(
+    std::span<const std::uint32_t> per_column_counts,
+    std::uint32_t min_rows) {
+  ColumnCompaction c;
+  c.original_columns = per_column_counts.size();
+  c.old_to_new.assign(per_column_counts.size(), ColumnCompaction::kDropped);
+  for (std::size_t t = 0; t < per_column_counts.size(); ++t) {
+    if (per_column_counts[t] >= min_rows) {
+      c.old_to_new[t] = static_cast<std::uint32_t>(c.new_to_old.size());
+      c.new_to_old.push_back(static_cast<Tid>(t));
+    }
+  }
+  return c;
+}
+
 Support tidset_intersect_count(std::span<const Tid> a,
                                std::span<const Tid> b) {
   Support n = 0;

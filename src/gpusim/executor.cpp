@@ -199,7 +199,7 @@ struct ChunkStats {
   KernelCounters counters;
   MemoryAccessStats load_coalescing;
   MemoryAccessStats store_coalescing;
-  std::uint64_t native_blocks = 0;  ///< observability only, not in KernelStats
+  std::uint64_t native_blocks = 0;
   std::uint64_t sampled_blocks = 0;
   std::uint64_t shared_requests = 0;
   std::uint64_t shared_serialization = 0;
@@ -463,6 +463,7 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
     stats.shared_race_hazards += c.shared_race_hazards;
     native_blocks += c.native_blocks;
   }
+  stats.native_blocks = native_blocks;
 
   auto& metrics = obs::MetricsRegistry::global();
   if (metrics.enabled()) {
@@ -471,6 +472,7 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
     metrics.add(Counter::kNativeBlocks, native_blocks);
     metrics.add(Counter::kInterpretedBlocks,
                 stats.counters.blocks - native_blocks);
+    metrics.add(Counter::kSampledBlocks, stats.sampled_blocks);
     metrics.add(Counter::kWarpInstructions, stats.counters.warp_instructions);
     metrics.add(Counter::kThreadInstructions,
                 stats.counters.thread_instructions);

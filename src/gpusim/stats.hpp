@@ -79,6 +79,10 @@ struct KernelStats {
   LaunchConfig config;
   KernelCounters counters;
 
+  /// Blocks executed by the whole-block native tier (the remainder ran
+  /// the per-thread interpreter) — exec-path audit for bench output.
+  std::uint64_t native_blocks = 0;
+
   // Sampled detailed analysis.
   MemoryAccessStats gmem_load_coalescing;
   MemoryAccessStats gmem_store_coalescing;

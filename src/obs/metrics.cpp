@@ -34,6 +34,11 @@ const char* to_string(Counter c) {
     case Counter::kWatchdogTrips: return "watchdog_trips";
     case Counter::kCheckpointsWritten: return "checkpoints_written";
     case Counter::kCheckpointBytes: return "checkpoint_bytes";
+    case Counter::kSampledBlocks: return "sampled_blocks";
+    case Counter::kTiledGroups: return "tiled_groups";
+    case Counter::kTiledTiles: return "tiled_tiles";
+    case Counter::kTiledWordsSaved: return "tiled_words_saved";
+    case Counter::kCompactColumnsDropped: return "compact_columns_dropped";
     case Counter::kCount: break;
   }
   return "?";

@@ -54,6 +54,11 @@ enum class Counter : std::size_t {
   kWatchdogTrips,       ///< hang-watchdog activations
   kCheckpointsWritten,  ///< level checkpoints persisted to disk
   kCheckpointBytes,     ///< cumulative bytes of checkpoint snapshots
+  kSampledBlocks,       ///< blocks replaying the full coalescing protocol
+  kTiledGroups,         ///< sibling groups launched by the tiled kernel
+  kTiledTiles,          ///< (group, word-tile) prefix-AND computations
+  kTiledWordsSaved,     ///< global word loads avoided vs complete intersection
+  kCompactColumnsDropped,  ///< transaction columns removed by compaction
   kCount,
 };
 

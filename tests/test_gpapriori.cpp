@@ -167,11 +167,12 @@ TEST(GpApriori, DeviceLedgerAndHistoryPopulated) {
   const auto out = miner.mine(db, p);
   EXPECT_GT(out.device_ms, 0.0);
   EXPECT_GT(miner.ledger().launches, 0u);
-  // One bitset upload plus one candidate copy per counting level (the
-  // level-1 entry has no copy).
+  // One bitset upload plus one packed candidate-table upload per counting
+  // level (prefix rows, sibling rows, and group offsets ship as a single
+  // transfer; the level-1 entry has no copy).
   EXPECT_EQ(miner.ledger().h2d_transfers, out.levels.size());
   EXPECT_FALSE(miner.launch_history().empty());
-  EXPECT_EQ(miner.launch_history()[0].kernel_name, "gpapriori_support");
+  EXPECT_EQ(miner.launch_history()[0].kernel_name, "gpapriori_support_tiled");
   // Fresh mine resets state.
   (void)miner.mine(db, p);
   EXPECT_GT(miner.ledger().launches, 0u);

@@ -232,4 +232,125 @@ TEST(SupportKernel, PhaseCountFormula) {
   EXPECT_EQ(SupportKernel::phase_count(512), 1u + 1u + 9u + 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Edge shapes, checked on all three execution paths (traced interpreter,
+// zero-trace interpreter, whole-block native): identical supports AND
+// identical aggregate counters (the DESIGN.md §9 contract).
+
+/// Launches the kernel under one executor configuration.
+std::pair<std::vector<std::uint32_t>, gpusim::KernelStats> run_configured(
+    const BitsetStore& store, const std::vector<std::uint32_t>& flat,
+    std::uint32_t k, std::uint32_t ncand, std::uint32_t block, bool preload,
+    std::uint64_t sample_stride, bool native) {
+  DeviceOptions opts;
+  opts.arena_bytes = 16 << 20;
+  opts.executor.sample_stride = sample_stride;
+  opts.executor.native = native;
+  opts.executor.host_threads = 1;
+  Device dev(DeviceProperties::tesla_t10(), opts);
+  auto d_bits = dev.alloc<std::uint32_t>(
+      std::max<std::size_t>(store.arena().size(), 1), 64);
+  if (!store.arena().empty()) dev.copy_to_device(d_bits, store.arena());
+  auto d_cand = dev.alloc<std::uint32_t>(std::max<std::size_t>(flat.size(), 1));
+  if (!flat.empty())
+    dev.copy_to_device(d_cand, std::span<const std::uint32_t>(flat));
+  auto d_sup = dev.alloc<std::uint32_t>(ncand);
+
+  SupportKernel::Args args;
+  args.bitsets = d_bits;
+  args.stride_words = static_cast<std::uint32_t>(store.row_stride_words());
+  args.words_per_row = static_cast<std::uint32_t>(store.words_per_row());
+  args.candidates = d_cand;
+  args.k = k;
+  args.supports = d_sup;
+  SupportKernel kernel(args, preload, 4);
+  const auto stats =
+      dev.launch(kernel, {gpusim::Dim3{ncand}, gpusim::Dim3{block}});
+  std::vector<std::uint32_t> sup(ncand);
+  dev.copy_to_host(std::span<std::uint32_t>(sup), d_sup);
+  return {sup, stats};
+}
+
+void expect_edge_parity(const BitsetStore& store,
+                        const std::vector<std::uint32_t>& flat,
+                        std::uint32_t k, std::uint32_t ncand,
+                        std::uint32_t block, bool preload,
+                        const std::vector<std::uint32_t>& expect) {
+  const auto [s_traced, traced] =
+      run_configured(store, flat, k, ncand, block, preload, 1, false);
+  const auto [s_plain, plain] =
+      run_configured(store, flat, k, ncand, block, preload, 0, false);
+  const auto [s_native, native] =
+      run_configured(store, flat, k, ncand, block, preload, 0, true);
+  EXPECT_EQ(s_traced, expect);
+  EXPECT_EQ(s_plain, expect);
+  EXPECT_EQ(s_native, expect);
+  const auto eq = [](const gpusim::KernelCounters& a,
+                     const gpusim::KernelCounters& b, const char* what) {
+    EXPECT_EQ(a.global_loads, b.global_loads) << what;
+    EXPECT_EQ(a.global_stores, b.global_stores) << what;
+    EXPECT_EQ(a.global_load_bytes, b.global_load_bytes) << what;
+    EXPECT_EQ(a.shared_loads, b.shared_loads) << what;
+    EXPECT_EQ(a.shared_stores, b.shared_stores) << what;
+    EXPECT_EQ(a.thread_instructions, b.thread_instructions) << what;
+    EXPECT_EQ(a.barriers, b.barriers) << what;
+  };
+  eq(traced.counters, plain.counters, "traced vs untraced");
+  eq(traced.counters, native.counters, "traced vs native");
+}
+
+/// k == 0: the empty intersection is all-ones, so every support is 32 * W
+/// (the full last word included — no row masks it down).
+TEST(SupportKernelEdge, ZeroKCountsAllBits) {
+  const auto db = testutil::random_db(100, 4, 0.5, 31);
+  std::vector<fim::Item> rows{0, 1, 2, 3};
+  const auto store = BitsetStore::from_db(db, rows);
+  const auto w = static_cast<std::uint32_t>(store.words_per_row());
+  const std::vector<std::uint32_t> expect(3, 32u * w);
+  expect_edge_parity(store, {}, 0, 3, 64, true, expect);
+  expect_edge_parity(store, {}, 0, 3, 64, false, expect);
+}
+
+/// W == 0 (zero transactions): nothing to count, supports all zero.
+TEST(SupportKernelEdge, ZeroWidthRows) {
+  const BitsetStore store(4, 0);  // 4 rows of zero-width bitmasks
+  ASSERT_EQ(store.words_per_row(), 0u);
+  const std::vector<std::uint32_t> flat{0, 1, 2, 3};
+  expect_edge_parity(store, flat, 2, 2, 64, true, {0u, 0u});
+}
+
+/// Odd words_per_row exercises the native tier's trailing-word pass.
+TEST(SupportKernelEdge, OddWordCount) {
+  const auto db = testutil::random_db(96, 6, 0.4, 77);  // 3 words per row
+  std::vector<fim::Item> rows{0, 1, 2, 3, 4, 5};
+  const auto store = BitsetStore::from_db(db, rows);
+  ASSERT_EQ(store.words_per_row() % 2, 1u);
+  const std::vector<std::uint32_t> flat{0, 1, 2, 3, 4, 5};
+  const std::uint32_t a[] = {0, 1}, b[] = {2, 3}, c[] = {4, 5};
+  expect_edge_parity(store, flat, 2, 3, 64, true,
+                     {store.and_popcount(a), store.and_popcount(b),
+                      store.and_popcount(c)});
+}
+
+/// k > blockDim with preloading: threads r >= blockDim never copied their
+/// candidate row to shared memory, so the accumulate phase reads back 0 —
+/// the AND silently includes row 0. Both the interpreter and the native
+/// tier must replicate this quirk bit-exactly (it never fires in the
+/// miner, which sizes blocks >= 32 >= k in practice).
+TEST(SupportKernelEdge, PreloadZeroQuirkWhenKExceedsBlock) {
+  const auto db = testutil::random_db(200, 8, 0.5, 13);
+  std::vector<fim::Item> rows;
+  for (fim::Item x = 0; x < 8; ++x) rows.push_back(x);
+  const auto store = BitsetStore::from_db(db, rows);
+  const std::vector<std::uint32_t> flat{1, 2, 4};  // k = 3 > block = 2
+  const std::uint32_t quirked[] = {1, 2, 0};       // row 4 -> shared zero
+  expect_edge_parity(store, flat, 3, 1, 2, true,
+                     {store.and_popcount(quirked)});
+  // Without preloading the candidate reads straight from global memory —
+  // no quirk, true 3-way intersection.
+  const std::uint32_t full[] = {1, 2, 4};
+  expect_edge_parity(store, flat, 3, 1, 2, false,
+                     {store.and_popcount(full)});
+}
+
 }  // namespace
